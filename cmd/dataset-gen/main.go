@@ -1,0 +1,44 @@
+// Command dataset-gen builds a synthetic TenSet-style dataset (measured
+// schedule samples per subgraph) and reports its statistics.
+//
+// Usage:
+//
+//	dataset-gen -device t4 -per-task 1000 -networks wide_resnet50,vit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pruner"
+)
+
+func main() {
+	var (
+		devName = flag.String("device", "t4", "device: a100|titanv|orin|k80|t4")
+		perTask = flag.Int("per-task", 500, "schedules per subgraph")
+		netsCSV = flag.String("networks", "wide_resnet50,inception_v3,vit,gpt2", "comma-separated workloads")
+		seed    = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	dev, err := pruner.DeviceByName(*devName)
+	fatalIf(err)
+	names := strings.Split(*netsCSV, ",")
+	ds, err := pruner.GenerateDataset(dev, names, *perTask, *seed)
+	fatalIf(err)
+
+	fmt.Printf("device=%s tasks=%d entries=%d\n", dev.Name, len(ds.Sets), ds.Size())
+	for _, s := range ds.Sets {
+		fmt.Printf("  %-60s n=%-5d best=%.4gms\n", s.Task.Name, len(s.Entries), s.Best*1e3)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dataset-gen:", err)
+		os.Exit(1)
+	}
+}

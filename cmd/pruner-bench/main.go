@@ -1,0 +1,64 @@
+// Command pruner-bench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	pruner-bench -exp table1            # one experiment, scaled
+//	pruner-bench -exp fig6 -full        # paper-scale parameters
+//	pruner-bench -all                   # the whole evaluation section
+//	pruner-bench -list                  # available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pruner/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Int64("seed", 42, "base random seed")
+		cache = flag.String("cache", ".cache", "pretrained-weights cache dir")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Full: *full, Seed: *seed, Out: os.Stdout, CacheDir: *cache}
+
+	run := func(id string) {
+		r, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := r(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Second))
+	}
+
+	switch {
+	case *all:
+		for _, id := range experiments.IDs() {
+			run(id)
+		}
+	case *exp != "":
+		run(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

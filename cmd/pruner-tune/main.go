@@ -1,0 +1,77 @@
+// Command pruner-tune runs one end-to-end tuning session and prints the
+// tuning curve and per-task results as JSON lines.
+//
+// Usage:
+//
+//	pruner-tune -net resnet50 -device a100 -method moa-pruner -trials 400
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pruner"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "resnet50", "workload (see -nets)")
+		devName = flag.String("device", "a100", "device: a100|titanv|orin|k80|t4")
+		method  = flag.String("method", "pruner", "tuning method (pruner|moa-pruner|ansor|metaschedule|roller|...)")
+		trials  = flag.Int("trials", 400, "measurement trials")
+		seed    = flag.Int64("seed", 1, "random seed")
+		maxTask = flag.Int("max-tasks", 0, "tune only the top-N subgraphs (0 = all)")
+		nets    = flag.Bool("nets", false, "list workloads")
+		pre     = flag.Int("pretrain", 0, "pretrain PaCM on a K80 dataset with N schedules/task first (enables moa-pruner)")
+	)
+	flag.Parse()
+
+	if *nets {
+		for _, n := range pruner.NetworkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	dev, err := pruner.DeviceByName(*devName)
+	fatalIf(err)
+	net, err := pruner.LoadNetwork(*netName)
+	fatalIf(err)
+
+	cfg := pruner.Config{
+		Method:   pruner.Method(*method),
+		Trials:   *trials,
+		Seed:     *seed,
+		MaxTasks: *maxTask,
+	}
+	if *pre > 0 {
+		fmt.Fprintln(os.Stderr, "pretraining PaCM on K80 dataset...")
+		ds, err := pruner.GenerateDataset(pruner.K80, []string{"wide_resnet50", "vit", "gpt2"}, *pre, *seed)
+		fatalIf(err)
+		_, pretrained, err := pruner.PretrainModel("pacm", ds, 10, *seed)
+		fatalIf(err)
+		cfg.Pretrained = pretrained
+	}
+
+	res, err := pruner.Tune(dev, net, cfg)
+	fatalIf(err)
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, p := range res.Curve {
+		_ = enc.Encode(map[string]any{
+			"round": p.Round, "trials": p.Trials,
+			"sim_seconds": p.SimSeconds, "workload_ms": p.WorkloadLat * 1e3,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "final workload latency: %.4f ms\n", res.FinalLatency*1e3)
+	fmt.Fprintf(os.Stderr, "simulated compile time: %.1f min (exploration %.1f, training %.1f, measurement %.1f)\n",
+		res.Clock.Total()/60, res.Clock.Exploration/60, res.Clock.Training/60, res.Clock.Measurement/60)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pruner-tune:", err)
+		os.Exit(1)
+	}
+}

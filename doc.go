@@ -1,0 +1,24 @@
+// Package pruner is a Go reproduction of "Pruner: A Draft-then-Verify
+// Exploration Mechanism to Accelerate Tensor Program Tuning" (ASPLOS
+// 2025).
+//
+// The package is the stable facade over the library's internals: GPU
+// device models, DNN workloads partitioned into tuning tasks, the
+// Draft-then-Verify search mechanism (Latent Schedule Explorer +
+// Pattern-aware Cost Model), the MoA-Pruner momentum online adaptation,
+// the Ansor / MetaSchedule / Roller / TenSetMLP / TLP baselines, a
+// simulated measurement substrate standing in for real GPUs, and the
+// TenSet-style dataset tooling with Top-k / Best-k metrics.
+//
+// Quick start:
+//
+//	net, _ := pruner.LoadNetwork("resnet50")
+//	res, _ := pruner.Tune(pruner.A100, net, pruner.Config{
+//		Method: pruner.MethodPruner,
+//		Trials: 2000,
+//	})
+//	fmt.Printf("latency: %.3f ms\n", res.FinalLatency*1e3)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package pruner

@@ -1,0 +1,47 @@
+// Cost-model laboratory: train the three learned cost models on a
+// TenSet-style dataset and compare their Top-1 / Top-5 ranking accuracy
+// on held-out networks — a miniature of the paper's Table 11 and
+// Figure 15.
+//
+// Run with:
+//
+//	go run ./examples/costmodel-lab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pruner"
+)
+
+func main() {
+	// Train split: networks the models learn from. Test split: the
+	// paper's held-out set (here two of them, for speed).
+	train, err := pruner.GenerateDataset(pruner.T4,
+		[]string{"wide_resnet50", "inception_v3", "gpt2"}, 250, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := pruner.GenerateDataset(pruner.T4,
+		[]string{"resnet50", "bert_tiny"}, 250, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("train: %d programs over %d tasks; test: %d programs over %d tasks\n",
+		train.Size(), len(train.Sets), test.Size(), len(test.Sets))
+
+	fmt.Printf("\n%-10s %8s %8s\n", "model", "top-1", "top-5")
+	for _, kind := range []string{"tensetmlp", "tlp", "pacm"} {
+		model, _, err := pruner.PretrainModel(kind, train, 10, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t1 := pruner.EvaluateTopK(model, test, 1)
+		t5 := pruner.EvaluateTopK(model, test, 5)
+		fmt.Printf("%-10s %8.3f %8.3f\n", kind, t1, t5)
+	}
+	fmt.Println("\nTop-k (Eq. 2): ratio of the optimal latency to the best latency")
+	fmt.Println("among each task's k highest-scored programs, weighted by how often")
+	fmt.Println("the subgraph appears in the test networks.")
+}

@@ -1,0 +1,69 @@
+// Cross-platform adaptation with MoA: pretrain PaCM on a K80 dataset,
+// then tune on A100 three ways — from scratch, with plain online
+// fine-tuning of the pretrained weights, and with the paper's Momentum
+// online Adaptation — a miniature of the Table 12 adaptation rows.
+//
+// Run with:
+//
+//	go run ./examples/crossplatform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pruner"
+)
+
+func main() {
+	// Step 1: offline dataset on the source platform (TenSet's K80).
+	fmt.Println("generating K80 pretraining dataset...")
+	ds, err := pruner.GenerateDataset(pruner.K80,
+		[]string{"wide_resnet50", "vit", "gpt2", "inception_v3"}, 350, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d tasks, %d measured programs\n", len(ds.Sets), ds.Size())
+
+	// Step 2: pretrain the Pattern-aware Cost Model on it.
+	fmt.Println("pretraining PaCM on K80 data...")
+	_, pretrained, err := pruner.PretrainModel("pacm", ds, 14, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: tune BERT-Tiny on the A100 — a different platform with a
+	// correlated but distinct performance surface (cross-platform online
+	// unawareness).
+	net, err := pruner.LoadNetwork("bert_tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := pruner.Config{Trials: 200, Seed: 11, MaxTasks: 5}
+
+	type variant struct {
+		label string
+		cfg   pruner.Config
+	}
+	variants := []variant{
+		{"from scratch (Pruner)", with(base, pruner.MethodPruner, nil)},
+		{"MoA (MoA-Pruner)", with(base, pruner.MethodMoAPruner, pretrained)},
+	}
+	for _, v := range variants {
+		res, err := pruner.Tune(pruner.A100, net, v.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s final %.4f ms, compile %.1f sim-min\n",
+			v.label, res.FinalLatency*1e3, res.Clock.Total()/60)
+	}
+	fmt.Println("\nMoA initialises the target model from the Siamese (pretrained)")
+	fmt.Println("weights every update and feeds improvements back with momentum")
+	fmt.Println("m=0.99, so early biased online data cannot derail training.")
+}
+
+func with(c pruner.Config, m pruner.Method, p *pruner.Pretrained) pruner.Config {
+	c.Method = m
+	c.Pretrained = p
+	return c
+}

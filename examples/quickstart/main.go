@@ -1,0 +1,58 @@
+// Quickstart: tune a single network with the Draft-then-Verify mechanism
+// and print the tuning curve.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pruner"
+)
+
+func main() {
+	// Load a workload from the model zoo. Networks are partitioned into
+	// fused subgraphs ("tasks"), each with a weight counting how often it
+	// recurs.
+	net, err := pruner.LoadNetwork("bert_tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d unique subgraphs, %d instances\n",
+		net.Name, len(net.Tasks), net.TotalWeight())
+
+	// Tune on the simulated A100 with the paper's Pruner mechanism: the
+	// Latent Schedule Explorer drafts candidates with the Symbol-based
+	// Analyzer, the Pattern-aware Cost Model verifies them, and only the
+	// winners are measured.
+	res, err := pruner.Tune(pruner.A100, net, pruner.Config{
+		Method: pruner.MethodPruner,
+		Trials: 200,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntuning curve (simulated search time -> end-to-end latency):")
+	for i, p := range res.Curve {
+		if i%4 != 0 || p.WorkloadLat > 1e17 {
+			continue
+		}
+		fmt.Printf("  %6.0f s  %8.4f ms\n", p.SimSeconds, p.WorkloadLat*1e3)
+	}
+	fmt.Printf("\nfinal latency: %.4f ms\n", res.FinalLatency*1e3)
+	fmt.Printf("compile time:  %.1f simulated minutes (exploration %.1f / training %.1f / measurement %.1f)\n",
+		res.Clock.Total()/60, res.Clock.Exploration/60, res.Clock.Training/60, res.Clock.Measurement/60)
+
+	// Per-task results.
+	fmt.Println("\nbest schedule per subgraph:")
+	for _, t := range net.Tasks {
+		if best, ok := res.Best[t.ID]; ok && best.Sched != nil {
+			fmt.Printf("  %-55s %9.2f us  x%d\n", t.Name, best.Latency*1e6, t.Weight)
+		}
+	}
+}

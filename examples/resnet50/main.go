@@ -1,0 +1,53 @@
+// ResNet-50 end-to-end tuning shoot-out: Ansor's explore-everything
+// baseline vs Pruner's Draft-then-Verify, plus the off-the-shelf
+// frameworks — a miniature of the paper's Figures 6 and 9.
+//
+// Run with:
+//
+//	go run ./examples/resnet50
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pruner"
+)
+
+func main() {
+	net, err := pruner.LoadNetwork("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := pruner.A100
+
+	// Off-the-shelf framework latencies (vendor-library models).
+	fmt.Println("framework baselines (A100):")
+	for _, fw := range []string{"pytorch", "triton", "tensorrt"} {
+		lat, err := pruner.FrameworkLatency(fw, dev, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %8.3f ms\n", fw, lat*1e3)
+	}
+
+	// Search-based tuning: same budget, two exploration mechanisms. For a
+	// fast demo only the 6 heaviest subgraphs are tuned.
+	cfg := pruner.Config{Trials: 240, Seed: 3, MaxTasks: 6}
+
+	fmt.Println("\ntuning the 6 dominant subgraphs, 240 trials each method:")
+	for _, method := range []pruner.Method{pruner.MethodAnsor, pruner.MethodPruner} {
+		cfg.Method = method
+		res, err := pruner.Tune(dev, net, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s best %.4f ms, compile %.1f sim-min (exploration %.1f min)\n",
+			method, res.FinalLatency*1e3, res.Clock.Total()/60, res.Clock.Exploration/60)
+	}
+
+	fmt.Println("\nPruner reaches comparable latency while spending a fraction of")
+	fmt.Println("Ansor's exploration time: the draft model prunes the candidate set")
+	fmt.Println("before the learned cost model ever runs, so at equal search time")
+	fmt.Println("Pruner completes more tuning rounds (the Figure 6 effect).")
+}

@@ -1,0 +1,113 @@
+package pruner
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLoadNetworkAndNames(t *testing.T) {
+	names := NetworkNames()
+	if len(names) < 15 {
+		t.Fatalf("only %d networks registered", len(names))
+	}
+	for _, n := range names {
+		if _, err := LoadNetwork(n); err != nil {
+			t.Errorf("LoadNetwork(%q): %v", n, err)
+		}
+	}
+	if _, err := LoadNetwork("vgg16"); err == nil {
+		t.Error("unknown network should error")
+	}
+}
+
+func TestDeviceByNameFacade(t *testing.T) {
+	for _, n := range []string{"a100", "titanv", "orin", "k80", "t4"} {
+		if _, err := DeviceByName(n); err != nil {
+			t.Errorf("DeviceByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestTuneRequiresPretrained(t *testing.T) {
+	net, _ := LoadNetwork("bert_tiny")
+	for _, m := range []Method{MethodMoAPruner, MethodTenSetMLP, MethodTLP, MethodPrunerOffline} {
+		if _, err := Tune(A100, net, Config{Method: m, Trials: 10}); err == nil {
+			t.Errorf("method %s without pretrained weights should error", m)
+		}
+	}
+	if _, err := Tune(A100, net, Config{Method: "magic", Trials: 10}); err == nil {
+		t.Error("unknown method should error")
+	}
+	// Kind mismatch.
+	ds, err := GenerateDataset(K80, []string{"dcgan"}, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pre, err := PretrainModel("tensetmlp", ds, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tune(A100, net, Config{Method: MethodMoAPruner, Trials: 10, Pretrained: pre}); err == nil {
+		t.Error("pacm method with mlp weights should error")
+	}
+}
+
+func TestEndToEndFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning")
+	}
+	net, err := LoadNetwork("bert_tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(A100, net, Config{
+		Method:   MethodPruner,
+		Trials:   60,
+		Seed:     1,
+		MaxTasks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.FinalLatency, 1) || res.FinalLatency <= 0 {
+		t.Fatalf("final latency %g", res.FinalLatency)
+	}
+	if len(res.Curve) == 0 {
+		t.Fatal("no tuning curve")
+	}
+
+	// Framework baselines are instant and positive.
+	for _, fw := range []string{"pytorch", "triton", "tensorrt", "cudalib"} {
+		lat, err := FrameworkLatency(fw, A100, net)
+		if err != nil || lat <= 0 {
+			t.Errorf("FrameworkLatency(%s): %g, %v", fw, lat, err)
+		}
+	}
+	if _, err := FrameworkLatency("onnxruntime", A100, net); err == nil {
+		t.Error("unknown framework should error")
+	}
+}
+
+func TestPretrainAndTopK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training")
+	}
+	train, err := GenerateDataset(T4, []string{"dcgan"}, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, pre, err := PretrainModel("pacm", train, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Kind != "pacm" || len(pre.Weights) == 0 {
+		t.Fatal("bad pretrained bundle")
+	}
+	top1 := EvaluateTopK(m, train, 1)
+	if top1 <= 0 || top1 > 1 {
+		t.Fatalf("Top-1 on train data = %g, want (0,1]", top1)
+	}
+	if _, _, err := PretrainModel("xgboost", train, 1, 1); err == nil {
+		t.Error("unknown model kind should error")
+	}
+}

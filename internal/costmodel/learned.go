@@ -1,0 +1,305 @@
+package costmodel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"pruner/internal/features"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+)
+
+// TenSetMLP is the statement-feature MLP baseline (TenSet's cost model and
+// the stand-in for Ansor's learned model): every innermost statement's
+// 164-dim feature row is embedded, per-program embeddings are summed, and
+// a linear head emits the score.
+type TenSetMLP struct {
+	embed *nn.MLP
+	head  *nn.MLP
+	adam  *nn.Adam
+	seed  int64
+}
+
+// NewTenSetMLP builds the model with the given init seed.
+func NewTenSetMLP(seed int64) *TenSetMLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := &TenSetMLP{
+		embed: nn.NewMLP(rng, features.StmtDim, 128, 128),
+		head:  nn.NewMLP(rng, 128, 64, 1),
+		seed:  seed,
+	}
+	m.adam = nn.NewAdam(m.Params(), 7e-4)
+	return m
+}
+
+// Name implements Model.
+func (m *TenSetMLP) Name() string { return "tensetmlp" }
+
+// Params implements Model.
+func (m *TenSetMLP) Params() []*nn.Tensor {
+	return append(m.embed.Params(), m.head.Params()...)
+}
+
+// Costs implements Model.
+func (m *TenSetMLP) Costs() Costs { return Costs{FeatureX: 1, InferX: 1, TrainX: 1} }
+
+func (m *TenSetMLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
+	rows := nn.FromRows(features.Statement(lw))
+	emb := nn.ReLU(m.embed.Forward(rows))
+	return m.head.Forward(nn.SumRows(emb))
+}
+
+func (m *TenSetMLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
+	outs := make([]*nn.Tensor, len(schs))
+	for i, s := range schs {
+		outs[i] = m.forwardOne(schedule.Lower(t, s))
+	}
+	return nn.ConcatRows(outs...)
+}
+
+// Predict implements Model.
+func (m *TenSetMLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
+	return predictParallel(t, schs, m.forwardOne)
+}
+
+// Fit implements Model.
+func (m *TenSetMLP) Fit(recs []Record, opt FitOptions) FitReport {
+	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+}
+
+// PaCM is the paper's Pattern-aware Cost Model: a multi-branch network
+// combining summed statement embeddings with a self-attention encoding of
+// the temporal dataflow feature sequence (Figure 4). Branches can be
+// disabled for the Table 12 ablations (w/o S.F., w/o T.D.F).
+type PaCM struct {
+	// UseStatement / UseDataflow select the active branches.
+	UseStatement bool
+	UseDataflow  bool
+
+	stmtEmbed *nn.MLP
+	dfProj    *nn.Linear
+	dfAttn    *nn.SelfAttention
+	head      *nn.MLP
+	adam      *nn.Adam
+	seed      int64
+}
+
+const (
+	pacmStmtDim = 96
+	pacmDfDim   = 48
+)
+
+// NewPaCM builds the full two-branch model.
+func NewPaCM(seed int64) *PaCM { return newPaCM(seed, true, true) }
+
+// NewPaCMAblated builds a PaCM with selected branches, for ablations.
+func NewPaCMAblated(seed int64, useStatement, useDataflow bool) *PaCM {
+	if !useStatement && !useDataflow {
+		panic("costmodel: PaCM needs at least one branch")
+	}
+	return newPaCM(seed, useStatement, useDataflow)
+}
+
+func newPaCM(seed int64, useStmt, useDf bool) *PaCM {
+	rng := rand.New(rand.NewSource(seed))
+	m := &PaCM{
+		UseStatement: useStmt,
+		UseDataflow:  useDf,
+		stmtEmbed:    nn.NewMLP(rng, features.StmtDim, pacmStmtDim, pacmStmtDim),
+		dfProj:       nn.NewLinear(rng, features.DataflowDim, pacmDfDim),
+		dfAttn:       nn.NewSelfAttention(rng, pacmDfDim),
+		seed:         seed,
+	}
+	width := 0
+	if useStmt {
+		width += pacmStmtDim
+	}
+	if useDf {
+		width += pacmDfDim
+	}
+	m.head = nn.NewMLP(rng, width, 64, 1)
+	m.adam = nn.NewAdam(m.Params(), 7e-4)
+	return m
+}
+
+// Name implements Model.
+func (m *PaCM) Name() string {
+	switch {
+	case !m.UseStatement:
+		return "pacm-no-sf"
+	case !m.UseDataflow:
+		return "pacm-no-tdf"
+	default:
+		return "pacm"
+	}
+}
+
+// Params implements Model. All branch parameters are always exposed so
+// Siamese snapshots stay architecture-compatible across ablations.
+func (m *PaCM) Params() []*nn.Tensor {
+	ps := m.stmtEmbed.Params()
+	ps = append(ps, m.dfProj.Params()...)
+	ps = append(ps, m.dfAttn.Params()...)
+	return append(ps, m.head.Params()...)
+}
+
+// Costs implements Model: slightly heavier than the MLP, far lighter than
+// TLP.
+func (m *PaCM) Costs() Costs { return Costs{FeatureX: 1.1, InferX: 1.2, TrainX: 1.6} }
+
+func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
+	var parts *nn.Tensor
+	if m.UseStatement {
+		rows := nn.FromRows(features.Statement(lw))
+		emb := nn.ReLU(m.stmtEmbed.Forward(rows))
+		parts = nn.SumRows(emb)
+	}
+	if m.UseDataflow {
+		df := nn.FromRows(features.Dataflow(lw))
+		tokens := nn.Tanh(m.dfProj.Forward(df))
+		ctx := nn.MeanRows(m.dfAttn.Forward(tokens))
+		if parts == nil {
+			parts = ctx
+		} else {
+			parts = nn.ConcatCols(parts, ctx)
+		}
+	}
+	return m.head.Forward(parts)
+}
+
+func (m *PaCM) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
+	outs := make([]*nn.Tensor, len(schs))
+	for i, s := range schs {
+		outs[i] = m.forwardOne(schedule.Lower(t, s))
+	}
+	return nn.ConcatRows(outs...)
+}
+
+// Predict implements Model.
+func (m *PaCM) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
+	return predictParallel(t, schs, m.forwardOne)
+}
+
+// Fit implements Model.
+func (m *PaCM) Fit(recs []Record, opt FitOptions) FitReport {
+	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+}
+
+// TLP is the schedule-primitive transformer baseline. Its tokens are
+// near-constant one-hots where only split factors vary, which makes small
+// online datasets hard to learn from — the behaviour behind the paper's
+// disappearing tuning curves.
+type TLP struct {
+	proj *nn.Linear
+	attn *nn.SelfAttention
+	head *nn.MLP
+	adam *nn.Adam
+	seed int64
+}
+
+// NewTLP builds the model.
+func NewTLP(seed int64) *TLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := &TLP{
+		proj: nn.NewLinear(rng, features.PrimDim, features.PrimDim),
+		attn: nn.NewSelfAttention(rng, features.PrimDim),
+		seed: seed,
+	}
+	m.head = nn.NewMLP(rng, features.PrimDim, 64, 1)
+	// TLP trains with a higher learning rate on sparse features; this is
+	// part of why online fine-tuning can destabilise it.
+	m.adam = nn.NewAdam(m.Params(), 1.2e-3)
+	return m
+}
+
+// Name implements Model.
+func (m *TLP) Name() string { return "tlp" }
+
+// Params implements Model.
+func (m *TLP) Params() []*nn.Tensor {
+	ps := m.proj.Params()
+	ps = append(ps, m.attn.Params()...)
+	return append(ps, m.head.Params()...)
+}
+
+// Costs implements Model: cheap features, heavy model.
+func (m *TLP) Costs() Costs { return Costs{FeatureX: 0.35, InferX: 3.5, TrainX: 8} }
+
+func (m *TLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
+	tokens := nn.FromRows(features.Primitives(lw))
+	x := m.proj.Forward(tokens)
+	x = m.attn.Forward(x)
+	return m.head.Forward(nn.MeanRows(x))
+}
+
+func (m *TLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
+	outs := make([]*nn.Tensor, len(schs))
+	for i, s := range schs {
+		outs[i] = m.forwardOne(schedule.Lower(t, s))
+	}
+	return nn.ConcatRows(outs...)
+}
+
+// Predict implements Model.
+func (m *TLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
+	return predictParallel(t, schs, m.forwardOne)
+}
+
+// Fit implements Model.
+func (m *TLP) Fit(recs []Record, opt FitOptions) FitReport {
+	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+}
+
+// predictNoGrad evaluates a forward closure in inference mode and copies
+// the scores out.
+func predictNoGrad(forward func() *nn.Tensor, n int) []float64 {
+	var scores *nn.Tensor
+	nn.NoGrad(func() { scores = forward() })
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = scores.At(i, 0)
+	}
+	return out
+}
+
+// predictParallel scores candidates with a per-candidate forward, sharded
+// across CPUs inside one NoGrad region. The models' forwards are pure
+// functions of their (frozen) weights, so concurrent evaluation is safe.
+func predictParallel(t *ir.Task, schs []*schedule.Schedule, one func(*schedule.Lowered) *nn.Tensor) []float64 {
+	out := make([]float64, len(schs))
+	nn.NoGrad(func() {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(schs) {
+			workers = len(schs)
+		}
+		if workers <= 1 {
+			for i, s := range schs {
+				out[i] = one(schedule.Lower(t, s)).At(0, 0)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (len(schs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(schs) {
+				hi = len(schs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					out[i] = one(schedule.Lower(t, schs[i])).At(0, 0)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	})
+	return out
+}

@@ -1,0 +1,176 @@
+// Package costmodel defines the learned and analytical cost models that
+// guide schedule search: the paper's Pattern-aware Cost Model (PaCM), the
+// TenSetMLP and TLP baselines, a wrapper over the Symbol-based Analyzer,
+// and a random-score control. All learned models share the ranking
+// trainer: records are grouped per task, labelled with normalised
+// throughput and optimised with the LambdaRank loss, as in the paper.
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+)
+
+// Record is one measured tensor program: the training unit of online and
+// offline cost-model tuning.
+type Record struct {
+	Task    *ir.Task
+	Sched   *schedule.Schedule
+	Latency float64 // seconds; +Inf marks a failed measurement
+}
+
+// FitOptions configures one training call.
+type FitOptions struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+	// MaxGroup bounds samples per task group per epoch (ranking lists get
+	// quadratic in group size); 0 means no bound.
+	MaxGroup int
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 15
+	}
+	if o.LR == 0 {
+		o.LR = 7e-4
+	}
+	if o.MaxGroup == 0 {
+		o.MaxGroup = 128
+	}
+	return o
+}
+
+// FitReport summarises one training call for logging and simulated-clock
+// accounting.
+type FitReport struct {
+	Loss         float64 // mean loss of the final epoch
+	Samples      int     // distinct training samples
+	SampleVisits int     // samples x epochs actually processed
+}
+
+// Costs are per-model multipliers over the platform's base CostParams,
+// reflecting that TLP's transformer is far heavier than the MLP and that
+// the draft model needs no feature extraction pipeline.
+type Costs struct {
+	FeatureX float64
+	InferX   float64
+	TrainX   float64
+}
+
+// Model scores candidate schedules of a task; higher is better.
+type Model interface {
+	Name() string
+	// Predict scores candidates. Scores are comparable within one call.
+	Predict(t *ir.Task, schs []*schedule.Schedule) []float64
+	// Fit trains on measured records (no-op for analytical models).
+	Fit(recs []Record, opt FitOptions) FitReport
+	// Params exposes trainable parameters (nil for analytical models);
+	// used by MoA's Siamese updates and by pretraining snapshots.
+	Params() []*nn.Tensor
+	// Costs returns simulated-clock multipliers.
+	Costs() Costs
+}
+
+// Relevances converts a group's latencies into ranking labels: the
+// normalised throughput min_latency / latency in (0, 1], with failed
+// measurements at 0.
+func Relevances(lats []float64) []float64 {
+	best := math.Inf(1)
+	for _, l := range lats {
+		if l > 0 && l < best {
+			best = l
+		}
+	}
+	rel := make([]float64, len(lats))
+	if math.IsInf(best, 1) {
+		return rel
+	}
+	for i, l := range lats {
+		if l > 0 && !math.IsInf(l, 1) {
+			rel[i] = best / l
+		}
+	}
+	return rel
+}
+
+// group is the per-task training unit used by the shared ranking trainer.
+type group struct {
+	task *ir.Task
+	recs []Record
+}
+
+// groupByTask splits records into per-task groups with stable order.
+func groupByTask(recs []Record) []group {
+	idx := map[string]int{}
+	var groups []group
+	for _, r := range recs {
+		i, ok := idx[r.Task.ID]
+		if !ok {
+			i = len(groups)
+			idx[r.Task.ID] = i
+			groups = append(groups, group{task: r.Task})
+		}
+		groups[i].recs = append(groups[i].recs, r)
+	}
+	return groups
+}
+
+// forwardFn scores one task's schedules, building a gradient graph when
+// the model is training.
+type forwardFn func(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor
+
+// rankFit is the shared LambdaRank training loop over task groups.
+func rankFit(recs []Record, opt FitOptions, adam *nn.Adam, forward forwardFn, seed int64) FitReport {
+	opt = opt.withDefaults()
+	groups := groupByTask(recs)
+	if len(groups) == 0 {
+		return FitReport{}
+	}
+	rng := rand.New(rand.NewSource(seed ^ opt.Seed))
+	var report FitReport
+	for _, g := range groups {
+		report.Samples += len(g.recs)
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+		var epochLoss float64
+		var batches int
+		for _, g := range groups {
+			recs := g.recs
+			if opt.MaxGroup > 0 && len(recs) > opt.MaxGroup {
+				sub := make([]Record, len(recs))
+				copy(sub, recs)
+				rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+				recs = sub[:opt.MaxGroup]
+			}
+			if len(recs) < 2 {
+				continue
+			}
+			schs := make([]*schedule.Schedule, len(recs))
+			lats := make([]float64, len(recs))
+			for i, r := range recs {
+				schs[i] = r.Sched
+				lats[i] = r.Latency
+			}
+			rel := Relevances(lats)
+			adam.ZeroGrad()
+			scores := forward(g.task, schs)
+			loss := nn.LambdaRankLoss(scores, rel)
+			nn.Backward(loss)
+			adam.Step()
+			epochLoss += loss.Data[0]
+			batches++
+			report.SampleVisits += len(recs)
+		}
+		if batches > 0 {
+			report.Loss = epochLoss / float64(batches)
+		}
+	}
+	return report
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"math/rand"
+
+	"pruner/internal/analyzer"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+)
+
+// SA wraps the Symbol-based Analyzer as a cost model: scores are the
+// negated Eq. 1 latency estimates. It is the draft model of the
+// Draft-then-Verify mechanism and the cheapest model in the suite.
+type SA struct {
+	A *analyzer.Analyzer
+}
+
+// NewSA wraps an analyzer.
+func NewSA(a *analyzer.Analyzer) *SA { return &SA{A: a} }
+
+// Name implements Model.
+func (s *SA) Name() string { return "sa" }
+
+// Predict implements Model.
+func (s *SA) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
+	out := make([]float64, len(schs))
+	for i, sch := range schs {
+		out[i] = s.A.Score(schedule.Lower(t, sch))
+	}
+	return out
+}
+
+// Fit implements Model (no-op: the analyzer has no trainable state).
+func (s *SA) Fit([]Record, FitOptions) FitReport { return FitReport{} }
+
+// Params implements Model.
+func (s *SA) Params() []*nn.Tensor { return nil }
+
+// Costs implements Model: no feature pipeline, and inference at the cost
+// ratio Table 1 implies for an empirical formula (~1/12 of MLP inference).
+func (s *SA) Costs() Costs { return Costs{FeatureX: 0, InferX: 0.085, TrainX: 0} }
+
+// Random scores candidates uniformly at random: the no-cost-model control
+// used by the Best-k experiments' random GA.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds the control model.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Model.
+func (r *Random) Name() string { return "random" }
+
+// Predict implements Model.
+func (r *Random) Predict(_ *ir.Task, schs []*schedule.Schedule) []float64 {
+	out := make([]float64, len(schs))
+	for i := range out {
+		out[i] = r.rng.Float64()
+	}
+	return out
+}
+
+// Fit implements Model (no-op).
+func (r *Random) Fit([]Record, FitOptions) FitReport { return FitReport{} }
+
+// Params implements Model.
+func (r *Random) Params() []*nn.Tensor { return nil }
+
+// Costs implements Model.
+func (r *Random) Costs() Costs { return Costs{} }

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+)
+
+// handSet builds a task set with chosen latencies for metric hand-checks.
+func handSet(t *testing.T, lats []float64, weight int) *TaskSet {
+	t.Helper()
+	task := ir.NewMatMul(64, 64, 64, ir.FP32, 0)
+	task.Weight = weight
+	s := &TaskSet{Task: task, Best: math.Inf(1)}
+	for _, l := range lats {
+		s.Entries = append(s.Entries, Entry{Sched: &schedule.Schedule{VectorLen: 1}, Latency: l})
+		if l < s.Best {
+			s.Best = l
+		}
+	}
+	return s
+}
+
+// TestTopKHandComputed verifies Eq. 2 against a hand-worked example.
+func TestTopKHandComputed(t *testing.T) {
+	// Task A (w=2): latencies [4,1,2], scores rank entry0 first, entry2
+	// second. Top-1 picks 4; Top-2 picks min(4,2)=2. Best = 1.
+	// Task B (w=1): latencies [3,6], scores rank entry0 first. Top-1 -> 3
+	// = best.
+	a := handSet(t, []float64{4, 1, 2}, 2)
+	b := handSet(t, []float64{3, 6}, 1)
+	ds := &Dataset{Sets: []*TaskSet{a, b}}
+	score := func(s *TaskSet) []float64 {
+		if len(s.Entries) == 3 {
+			return []float64{0.9, 0.1, 0.5}
+		}
+		return []float64{0.9, 0.1}
+	}
+	// Top-1: (1*2 + 3*1) / (4*2 + 3*1) = 5/11.
+	if got, want := ds.TopK(1, score), 5.0/11.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Top-1 = %g want %g", got, want)
+	}
+	// Top-2: (1*2 + 3*1) / (2*2 + 3*1) = 5/7.
+	if got, want := ds.TopK(2, score), 5.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Top-2 = %g want %g", got, want)
+	}
+}
+
+// TestBestKHandComputed verifies Eq. 3.
+func TestBestKHandComputed(t *testing.T) {
+	s := handSet(t, []float64{5, 1, 3, 2, 8}, 1)
+	// Spec = entries {0, 2, 3}: latencies {5, 3, 2}. Best of set = 1.
+	spec := []int{0, 2, 3}
+	if got, want := BestK(s, spec, 1), 1.0/2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Best-1 = %g want %g", got, want)
+	}
+	if got, want := BestK(s, spec, 2), 1.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Best-2 = %g want %g", got, want)
+	}
+	// Perfect spec containing the optimum.
+	if got := BestK(s, []int{1}, 1); got != 1 {
+		t.Fatalf("Best-1 with optimum in spec = %g want 1", got)
+	}
+}
+
+func TestWeightedBestK(t *testing.T) {
+	a := handSet(t, []float64{1, 2}, 3) // spec {1}: Lhat=2
+	b := handSet(t, []float64{4, 8}, 1) // spec {0}: Lhat=4=best
+	got := WeightedBestK([]*TaskSet{a, b}, [][]int{{1}, {0}}, 1)
+	// (1*3 + 4*1) / (2*3 + 4*1) = 7/10.
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("weighted Best-1 = %g want 0.7", got)
+	}
+}
+
+func TestGenerateDropsFailures(t *testing.T) {
+	tasks := []*ir.Task{ir.NewMatMul(256, 256, 256, ir.FP32, 0)}
+	ds := Generate(device.T4, tasks, GenOptions{SchedulesPerTask: 100, Seed: 1})
+	set := ds.Sets[0]
+	if len(set.Entries) == 0 {
+		t.Fatal("no valid entries")
+	}
+	for _, e := range set.Entries {
+		if math.IsInf(e.Latency, 1) || e.Latency <= 0 {
+			t.Fatal("failed build leaked into dataset")
+		}
+		if e.Sched == nil {
+			t.Fatal("entry without schedule")
+		}
+	}
+	if math.IsInf(set.Best, 1) {
+		t.Fatal("best not tracked")
+	}
+}
+
+func TestSubsampleAndRecords(t *testing.T) {
+	tasks := []*ir.Task{
+		ir.NewMatMul(128, 128, 128, ir.FP32, 0),
+		ir.NewMatMul(256, 128, 128, ir.FP32, 0),
+	}
+	ds := Generate(device.T4, tasks, GenOptions{SchedulesPerTask: 60, Seed: 2})
+	sub := ds.Subsample(10, 3)
+	for _, s := range sub.Sets {
+		if len(s.Entries) > 10 {
+			t.Fatalf("subsample kept %d entries", len(s.Entries))
+		}
+	}
+	if sub.Size() > 20 {
+		t.Fatalf("subsample size %d", sub.Size())
+	}
+	recs := ds.Records()
+	if len(recs) != ds.Size() {
+		t.Fatalf("records %d != size %d", len(recs), ds.Size())
+	}
+}
+
+func TestNetworksTasksDedup(t *testing.T) {
+	tasks, err := NetworksTasks([]string{"resnet50", "deeplab_v3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.ID] {
+			t.Fatalf("duplicate task %s across networks", task.Name)
+		}
+		seen[task.ID] = true
+	}
+	// DeepLab shares the ResNet stem: its weight must have been folded in.
+	if len(tasks) == 0 {
+		t.Fatal("no tasks")
+	}
+}
+
+func TestSplitsAreDisjoint(t *testing.T) {
+	train := map[string]bool{}
+	for _, n := range TrainNetworks {
+		train[n] = true
+	}
+	for _, n := range TestNetworks {
+		if train[n] {
+			t.Fatalf("network %s in both splits", n)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package device models GPU execution resources as the three-level memory
+// hierarchy used throughout the paper: L0 (registers, per thread), L1
+// (shared memory and warp scheduling, per block/SM) and L2 (global memory
+// and SM-level parallelism, per device).
+//
+// A Device carries both the parameters consumed by the Symbol-based
+// Analyzer's penalties (m_l0, m_l1, pu_l1, n_l1, pu_l2, n_l2 in the paper's
+// notation) and the richer set used by the measurement simulator
+// (occupancy limits, clocks, launch overhead).
+package device
+
+import "fmt"
+
+// Device describes one GPU platform. All capacities are expressed in
+// 4-byte words (FP32 elements) unless stated otherwise, so schedule-derived
+// allocation symbols compare against them directly.
+type Device struct {
+	Name string
+
+	// L0: registers.
+	RegsPerThread int // m_l0: usable accumulator/operand words per thread
+	RegsPerSM     int // occupancy limit: total register words per SM
+
+	// L1: shared memory and warp scheduling.
+	SharedPerBlock int // m_l1: shared-memory words available to one block
+	SharedPerSM    int // occupancy limit: shared-memory words per SM
+	WarpSize       int // n_l1: scheduling granularity (threads per warp)
+	WarpSchedulers int // pu_l1: warps issuing concurrently per SM
+	MaxWarpsPerSM  int // occupancy limit: resident warps per SM
+	MaxThreads     int // maximum threads per block
+
+	// L2: global memory and device-level parallelism.
+	NumSMs      int // pu_l2: streaming multiprocessors
+	Transaction int // n_l2: memory transaction length in words (128B => 32)
+
+	// Peaks. FLOPS are multiply-add counted as 2 ops.
+	PeakFLOPS   float64 // FP32 peak, op/s
+	PeakTensorF float64 // FP16 TensorCore peak, op/s (0 when absent)
+	PeakBW      float64 // global-memory bandwidth, bytes/s
+
+	// Simulator-only parameters.
+	LaunchOverhead float64 // seconds per kernel launch
+	L2CacheBytes   int     // device L2 cache capacity
+	Family         string  // microarchitecture family, groups residual models
+
+	// TensorCore tile granularity (wmma m=n=k), 0 when unsupported.
+	WMMA int
+}
+
+// Validate reports a configuration error, if any. All fields that the
+// analyzer or simulator divides by must be positive.
+func (d *Device) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"RegsPerThread", d.RegsPerThread},
+		{"RegsPerSM", d.RegsPerSM},
+		{"SharedPerBlock", d.SharedPerBlock},
+		{"SharedPerSM", d.SharedPerSM},
+		{"WarpSize", d.WarpSize},
+		{"WarpSchedulers", d.WarpSchedulers},
+		{"MaxWarpsPerSM", d.MaxWarpsPerSM},
+		{"MaxThreads", d.MaxThreads},
+		{"NumSMs", d.NumSMs},
+		{"Transaction", d.Transaction},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("device %s: %s must be positive, got %d", d.Name, c.name, c.v)
+		}
+	}
+	if d.PeakFLOPS <= 0 || d.PeakBW <= 0 {
+		return fmt.Errorf("device %s: peaks must be positive", d.Name)
+	}
+	return nil
+}
+
+// BytesPerWord is the storage size of one FP32 element.
+const BytesPerWord = 4
+
+// MaxBlocksPerSM is the architectural limit on resident blocks per SM used
+// by the occupancy model. It is constant across the modelled generations.
+const MaxBlocksPerSM = 32
+
+// Occupancy returns the number of blocks resident per SM given per-block
+// resource demands, and the resulting fraction of warp slots occupied.
+// A zero blocks-per-SM means the schedule over-subscribes some resource and
+// cannot launch at all.
+func (d *Device) Occupancy(threadsPerBlock, regsPerThread, sharedPerBlock int) (blocksPerSM int, occ float64) {
+	if threadsPerBlock <= 0 || threadsPerBlock > d.MaxThreads {
+		return 0, 0
+	}
+	if regsPerThread > d.RegsPerThread || sharedPerBlock > d.SharedPerBlock {
+		return 0, 0
+	}
+	warpsPerBlock := (threadsPerBlock + d.WarpSize - 1) / d.WarpSize
+	byWarps := d.MaxWarpsPerSM / warpsPerBlock
+	byRegs := d.RegsPerSM / max(1, regsPerThread*threadsPerBlock)
+	bySmem := MaxBlocksPerSM
+	if sharedPerBlock > 0 {
+		bySmem = d.SharedPerSM / sharedPerBlock
+	}
+	blocksPerSM = min(min(byWarps, byRegs), min(bySmem, MaxBlocksPerSM))
+	if blocksPerSM <= 0 {
+		return 0, 0
+	}
+	occ = float64(blocksPerSM*warpsPerBlock) / float64(d.MaxWarpsPerSM)
+	if occ > 1 {
+		occ = 1
+	}
+	return blocksPerSM, occ
+}
+
+// Preset device models. Peak numbers follow the public datasheets of the
+// platforms used in the paper's evaluation; capacities are the defaults a
+// compiler can assume without opt-in (e.g. 48 KiB shared memory per block).
+var (
+	// A100 is the NVIDIA A100-SXM4 (Ampere GA100) server GPU.
+	A100 = &Device{
+		Name:           "a100",
+		RegsPerThread:  255,
+		RegsPerSM:      65536,
+		SharedPerBlock: 48 * 1024 / BytesPerWord,
+		SharedPerSM:    164 * 1024 / BytesPerWord,
+		WarpSize:       32,
+		WarpSchedulers: 4,
+		MaxWarpsPerSM:  64,
+		MaxThreads:     1024,
+		NumSMs:         108,
+		Transaction:    32,
+		PeakFLOPS:      19.5e12,
+		PeakTensorF:    312e12,
+		PeakBW:         1555e9,
+		LaunchOverhead: 4e-6,
+		L2CacheBytes:   40 * 1024 * 1024,
+		Family:         "ampere",
+		WMMA:           16,
+	}
+
+	// TitanV is the NVIDIA Titan V (Volta GV100) workstation GPU.
+	TitanV = &Device{
+		Name:           "titanv",
+		RegsPerThread:  255,
+		RegsPerSM:      65536,
+		SharedPerBlock: 48 * 1024 / BytesPerWord,
+		SharedPerSM:    96 * 1024 / BytesPerWord,
+		WarpSize:       32,
+		WarpSchedulers: 4,
+		MaxWarpsPerSM:  64,
+		MaxThreads:     1024,
+		NumSMs:         80,
+		Transaction:    32,
+		PeakFLOPS:      13.8e12,
+		PeakTensorF:    110e12,
+		PeakBW:         652e9,
+		LaunchOverhead: 4.5e-6,
+		L2CacheBytes:   4608 * 1024,
+		Family:         "volta",
+		WMMA:           16,
+	}
+
+	// Orin is the NVIDIA Jetson Orin-AGX (Ampere iGPU) edge platform.
+	Orin = &Device{
+		Name:           "orin",
+		RegsPerThread:  255,
+		RegsPerSM:      65536,
+		SharedPerBlock: 48 * 1024 / BytesPerWord,
+		SharedPerSM:    164 * 1024 / BytesPerWord,
+		WarpSize:       32,
+		WarpSchedulers: 4,
+		MaxWarpsPerSM:  48,
+		MaxThreads:     1024,
+		NumSMs:         16,
+		Transaction:    32,
+		PeakFLOPS:      5.3e12,
+		PeakTensorF:    85e12,
+		PeakBW:         204.8e9,
+		LaunchOverhead: 8e-6,
+		L2CacheBytes:   4 * 1024 * 1024,
+		Family:         "ampere-edge",
+		WMMA:           16,
+	}
+
+	// K80 is one GK210 die of the NVIDIA Tesla K80 (Kepler), the TenSet
+	// pre-training platform.
+	K80 = &Device{
+		Name:           "k80",
+		RegsPerThread:  255,
+		RegsPerSM:      131072,
+		SharedPerBlock: 48 * 1024 / BytesPerWord,
+		SharedPerSM:    112 * 1024 / BytesPerWord,
+		WarpSize:       32,
+		WarpSchedulers: 4,
+		MaxWarpsPerSM:  64,
+		MaxThreads:     1024,
+		NumSMs:         13,
+		Transaction:    32,
+		PeakFLOPS:      4.37e12,
+		PeakTensorF:    0,
+		PeakBW:         240e9,
+		LaunchOverhead: 9e-6,
+		L2CacheBytes:   1536 * 1024,
+		Family:         "kepler",
+		WMMA:           0,
+	}
+
+	// T4 is the NVIDIA Tesla T4 (Turing), the second TenSet GPU platform.
+	T4 = &Device{
+		Name:           "t4",
+		RegsPerThread:  255,
+		RegsPerSM:      65536,
+		SharedPerBlock: 48 * 1024 / BytesPerWord,
+		SharedPerSM:    64 * 1024 / BytesPerWord,
+		WarpSize:       32,
+		WarpSchedulers: 4,
+		MaxWarpsPerSM:  32,
+		MaxThreads:     1024,
+		NumSMs:         40,
+		Transaction:    32,
+		PeakFLOPS:      8.1e12,
+		PeakTensorF:    65e12,
+		PeakBW:         320e9,
+		LaunchOverhead: 5e-6,
+		L2CacheBytes:   4 * 1024 * 1024,
+		Family:         "turing",
+		WMMA:           16,
+	}
+)
+
+// ByName returns a preset device by its Name field.
+func ByName(name string) (*Device, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown device %q", name)
+}
+
+// All returns the preset devices in a stable order.
+func All() []*Device {
+	return []*Device{A100, TitanV, Orin, K80, T4}
+}

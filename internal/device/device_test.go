@@ -1,0 +1,77 @@
+package device
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	for _, d := range All() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, d := range All() {
+		got, err := ByName(d.Name)
+		if err != nil || got != d {
+			t.Errorf("ByName(%q) = %v, %v", d.Name, got, err)
+		}
+	}
+	if _, err := ByName("h100"); err == nil {
+		t.Error("ByName of unknown device should fail")
+	}
+}
+
+func TestOccupancyLimits(t *testing.T) {
+	d := A100
+	// A minimal block: bounded by the warp limit.
+	blocks, occ := d.Occupancy(128, 32, 0)
+	if blocks <= 0 || occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy(128,32,0) = %d, %g", blocks, occ)
+	}
+	// Shared memory caps residency: a full 48 KiB block.
+	bSmem, _ := d.Occupancy(128, 32, d.SharedPerBlock)
+	if bSmem > d.SharedPerSM/d.SharedPerBlock {
+		t.Fatalf("shared-limited blocks = %d", bSmem)
+	}
+	// Over-subscription fails to launch.
+	if b, _ := d.Occupancy(2048, 32, 0); b != 0 {
+		t.Fatalf("threads over MaxThreads should not launch, got %d blocks", b)
+	}
+	if b, _ := d.Occupancy(128, 400, 0); b != 0 {
+		t.Fatalf("registers over limit should not launch, got %d blocks", b)
+	}
+}
+
+func TestOccupancyMonotoneInResources(t *testing.T) {
+	d := T4
+	bLow, occLow := d.Occupancy(256, 32, 1024)
+	bHigh, occHigh := d.Occupancy(256, 128, 8192)
+	if bHigh > bLow || occHigh > occLow {
+		t.Fatalf("more resources per block should not raise residency: (%d,%g) vs (%d,%g)",
+			bLow, occLow, bHigh, occHigh)
+	}
+}
+
+func TestFamilyDistinctness(t *testing.T) {
+	seen := map[string]string{}
+	for _, d := range All() {
+		if prev, ok := seen[d.Family]; ok {
+			t.Errorf("family %q shared by %s and %s — residual nets would alias", d.Family, prev, d.Name)
+		}
+		seen[d.Family] = d.Name
+	}
+}
+
+func TestValidateRejectsZeroFields(t *testing.T) {
+	d := *A100
+	d.WarpSize = 0
+	if err := d.Validate(); err == nil {
+		t.Error("zero warp size should fail validation")
+	}
+	e := *T4
+	e.PeakBW = 0
+	if err := e.Validate(); err == nil {
+		t.Error("zero bandwidth should fail validation")
+	}
+}

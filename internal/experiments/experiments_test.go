@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryMatchesIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() has %d entries, Registry %d", len(ids), len(Registry))
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestScaleParameters(t *testing.T) {
+	full := scaleOf(true)
+	if full.trials != 2000 || full.specSize != 512 {
+		t.Fatalf("full scale must use the paper's parameters, got %+v", full)
+	}
+	// Ansor's evolutionary budget must reach the paper's ~8000 model
+	// evaluations per round at full scale.
+	if full.evoPop*full.evoGens < 8000 {
+		t.Fatalf("full Ansor budget %d evaluations/round, want >= 8000", full.evoPop*full.evoGens)
+	}
+	sc := scaleOf(false)
+	if sc.trials >= full.trials || sc.specSize >= full.specSize {
+		t.Fatal("scaled mode must be smaller than full mode")
+	}
+}
+
+// TestFastExperimentsRun executes the dataset-metric experiments end to
+// end (they complete in seconds) and checks they produce the expected
+// table headers.
+func TestFastExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment execution")
+	}
+	for _, tc := range []struct {
+		id   string
+		want string
+	}{
+		{"fig14", "Best-k"},
+		{"table10", "Best-1"},
+	} {
+		var sb strings.Builder
+		cfg := Config{Seed: 7, Out: &sb, CacheDir: t.TempDir()}
+		if err := Registry[tc.id](cfg); err != nil {
+			t.Fatalf("%s: %v", tc.id, err)
+		}
+		if !strings.Contains(sb.String(), tc.want) {
+			t.Errorf("%s output missing %q:\n%s", tc.id, tc.want, sb.String())
+		}
+	}
+}
+
+func TestHarnessDefaults(t *testing.T) {
+	h := newHarness(Config{Out: io.Discard})
+	if h.cfg.Seed == 0 || h.cfg.CacheDir == "" {
+		t.Fatal("defaults not applied")
+	}
+	if f := h.fullTrialFactor(); f <= 1 {
+		t.Fatalf("scaled mode should extrapolate trials, factor %g", f)
+	}
+	hf := newHarness(Config{Full: true, Out: io.Discard})
+	if hf.fullTrialFactor() != 1 {
+		t.Fatal("full mode must not extrapolate")
+	}
+}
+
+func TestPretrainTasksDeduplicated(t *testing.T) {
+	h := newHarness(Config{Out: io.Discard})
+	tasks := h.pretrainTasks()
+	if len(tasks) < 10 {
+		t.Fatalf("only %d pretraining tasks", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.ID] {
+			t.Fatalf("duplicate pretraining task %s", task.Name)
+		}
+		seen[task.ID] = true
+	}
+}
+
+func TestFig11OpsCoverPaperCases(t *testing.T) {
+	ops := fig11Ops()
+	if len(ops) != 11 {
+		t.Fatalf("fig11 needs 11 ops (3 matmul + 8 conv), got %d", len(ops))
+	}
+	// M-2 must be the splitK regime: deep K, small output.
+	m2 := ops[1]
+	if m2.Meta["k"] < 2048 || m2.Meta["m"]*m2.Meta["n"] > 64*128 {
+		t.Fatal("M-2 is not a splitK-regime GEMM")
+	}
+}

@@ -1,0 +1,275 @@
+// Package features encodes lowered tensor programs into the three feature
+// families the paper's cost models consume:
+//
+//   - Statement features: per-innermost-statement vectors in the style of
+//     Ansor/TenSet (164 dims per statement).
+//   - Temporal dataflow features: the PaCM multi-tiling pattern — one
+//     23-dim embedding per data-block movement, a fixed-length sequence
+//     (Figure 4). Pure elementwise subgraphs are zero-padded, as in the
+//     paper.
+//   - Primitive features: TLP-style one-hot encodings of the schedule
+//     primitive sequence, where only split factors vary between programs
+//     of a task.
+package features
+
+import (
+	"math"
+
+	"pruner/internal/schedule"
+)
+
+// Dimensions of the three feature families.
+const (
+	// StmtDim matches Ansor/TenSet's 164-dim per-statement features.
+	StmtDim = 164
+	// DataflowDim is the paper's 23-dim data-block embedding.
+	DataflowDim = 23
+	// DataflowSeq is the fixed sequence length (Figure 4: Dim(10,23)).
+	DataflowSeq = 10
+	// PrimDim is the per-token width of the TLP primitive encoding.
+	PrimDim = 64
+	// PrimSeq is the primitive sequence length.
+	PrimSeq = 24
+)
+
+// lg is a sign-safe log2(1+x) used for all count-valued features.
+func lg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(1 + x)
+}
+
+// Statement returns one StmtDim-wide row per statement of the lowered
+// program. The leading entries carry real signal; the tail is zero padding
+// up to the Ansor-compatible width.
+func Statement(lw *schedule.Lowered) [][]float64 {
+	rows := make([][]float64, 0, len(lw.Stmts))
+	ctx := contextFeatures(lw)
+	for i := range lw.Stmts {
+		st := &lw.Stmts[i]
+		row := make([]float64, StmtDim)
+		// Kind one-hot (6 slots).
+		row[int(st.Kind)] = 1
+		// Level one-hots.
+		row[6+int(st.From)] = 1
+		row[9+int(st.To)] = 1
+		j := 12
+		put := func(v float64) { row[j] = v; j++ }
+		put(lg(st.Flops))
+		put(lg(st.MoveWords))
+		put(lg(st.AllocWords))
+		put(lg(st.Reuse))
+		put(lg(st.ContigRun))
+		put(lg(st.StrideElems))
+		put(lg(float64(st.Threads)))
+		put(lg(st.Trips))
+		put(boolF(st.TensorCore))
+		// Derived intensities.
+		put(lg(st.Flops / math.Max(st.MoveWords, 1)))
+		put(lg(st.MoveWords / math.Max(float64(st.Threads), 1)))
+		put(lg(st.Flops / math.Max(float64(st.Threads), 1)))
+		// Transaction-efficiency proxy of the From-side access.
+		put(quantEff(st.ContigRun, 32))
+		// Schedule context (shared across statements).
+		copy(row[j:], ctx)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// contextFeatures are schedule-level scalars appended to every statement
+// row and every dataflow row.
+func contextFeatures(lw *schedule.Lowered) []float64 {
+	s := lw.Sched
+	ctx := []float64{
+		lg(float64(lw.Blocks)),
+		lg(float64(lw.ThreadsPerBlock)),
+		lg(float64(lw.VThreads)),
+		lg(lw.RegsPerThread),
+		lg(lw.SharedPerBlock),
+		lg(lw.ThreadCompute),
+		lg(lw.GlobalWords),
+		lg(lw.TotalFlops),
+		float64(s.VectorLen),
+		lg(float64(s.UnrollStep)),
+		boolF(s.UseShared),
+		boolF(s.TensorCore),
+		float64(lw.ThreadsPerBlock%32) / 32,
+	}
+	// Per-axis inner tiles (up to 4 spatial, 2 reduce axes).
+	for d := 0; d < 4; d++ {
+		if d < len(s.SpatialTiles) {
+			ctx = append(ctx, lg(float64(s.RegTile(d))), lg(float64(s.SpatialTiles[d][schedule.LvlThread])))
+		} else {
+			ctx = append(ctx, 0, 0)
+		}
+	}
+	for d := 0; d < 2; d++ {
+		if d < len(s.ReduceTiles) {
+			ctx = append(ctx, lg(float64(s.ReduceInner(d))), lg(float64(s.ReduceTiles[d][schedule.RLvlOuter])))
+		} else {
+			ctx = append(ctx, 0, 0)
+		}
+	}
+	return ctx
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// quantEff is x / (ceil(x/unit)*unit) in [0,1]: how efficiently a run of
+// length x fills unit-sized transactions.
+func quantEff(x, unit float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x / (math.Ceil(x/unit) * unit)
+}
+
+// Dataflow returns the PaCM temporal dataflow feature matrix: exactly
+// DataflowSeq rows of DataflowDim values. Rows beyond the program's data
+// movements — and all rows of non-tiled programs — are zero (the paper's
+// zero-padding for elementwise operators).
+func Dataflow(lw *schedule.Lowered) [][]float64 {
+	out := make([][]float64, DataflowSeq)
+	for i := range out {
+		out[i] = make([]float64, DataflowDim)
+	}
+	if !lw.Task.Tiled() || !lw.Sched.UseShared {
+		return out
+	}
+	ctx := contextFeatures(lw)
+	row := 0
+	for i := range lw.Stmts {
+		if row >= DataflowSeq {
+			break
+		}
+		st := &lw.Stmts[i]
+		r := out[row]
+		// [0]: compute density of the block.
+		r[0] = lg(st.Flops / math.Max(st.MoveWords, 1))
+		// [1..4]: movement-kind one-hot.
+		switch st.Kind {
+		case schedule.StmtLoadShared, schedule.StmtLoadGlobal:
+			r[1] = 1
+		case schedule.StmtCompute:
+			r[2] = 1
+		case schedule.StmtStore:
+			r[3] = 1
+		default:
+			r[4] = 1
+		}
+		// [5..6]: flow direction.
+		r[5] = float64(st.From) / 2
+		r[6] = float64(st.To) / 2
+		// [7..16]: memory-access behaviour.
+		r[7] = lg(st.MoveWords)
+		r[8] = lg(st.AllocWords)
+		r[9] = lg(st.Reuse)
+		r[10] = lg(st.ContigRun)
+		r[11] = lg(st.StrideElems)
+		r[12] = quantEff(st.ContigRun, 32)
+		r[13] = lg(float64(st.Threads))
+		r[14] = lg(st.Trips)
+		r[15] = float64(lw.Sched.VectorLen)
+		r[16] = lg(float64(lw.Sched.UnrollStep))
+		// [17..21]: schedule context slice.
+		copy(r[17:22], ctx[:5])
+		// [22]: alloc-size tail slot (paper: "alloc size:1") + TC flag.
+		r[22] = lg(st.AllocWords) + boolF(st.TensorCore)
+		row++
+	}
+	return out
+}
+
+// FlatDataflow flattens the dataflow matrix to a single vector of
+// DataflowSeq*DataflowDim values (row-major).
+func FlatDataflow(lw *schedule.Lowered) []float64 {
+	m := Dataflow(lw)
+	out := make([]float64, 0, DataflowSeq*DataflowDim)
+	for _, r := range m {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Primitives returns the TLP-style schedule-primitive sequence: PrimSeq
+// tokens of PrimDim values. Token layout: [0..15] primitive-type and axis
+// one-hots (structural, near-constant across schedules of one task),
+// [16..] factor values. The sparsity of varying entries reproduces TLP's
+// low feature diversity.
+func Primitives(lw *schedule.Lowered) [][]float64 {
+	s := lw.Sched
+	out := make([][]float64, PrimSeq)
+	for i := range out {
+		out[i] = make([]float64, PrimDim)
+	}
+	tok := 0
+	emit := func(fill func(r []float64)) {
+		if tok < PrimSeq {
+			fill(out[tok])
+			tok++
+		}
+	}
+	for d := range s.SpatialTiles {
+		d := d
+		emit(func(r []float64) {
+			r[0] = 1 // split primitive
+			r[2+minI(d, 5)] = 1
+			for l := 0; l < schedule.NumSpatialLevels; l++ {
+				r[16+l] = lg(float64(s.SpatialTiles[d][l]))
+			}
+		})
+	}
+	for d := range s.ReduceTiles {
+		d := d
+		emit(func(r []float64) {
+			r[0] = 1
+			r[1] = 1 // reduction split
+			r[2+minI(d, 5)] = 1
+			for l := 0; l < schedule.NumReduceLevels; l++ {
+				r[16+l] = lg(float64(s.ReduceTiles[d][l]))
+			}
+		})
+	}
+	emit(func(r []float64) { r[8] = 1 }) // reorder
+	if s.UseShared {
+		emit(func(r []float64) { r[9] = 1 })  // cache_read shared A
+		emit(func(r []float64) { r[10] = 1 }) // cache_read shared B
+		emit(func(r []float64) { r[11] = 1 }) // compute_at
+	}
+	emit(func(r []float64) { // unroll annotation
+		r[12] = 1
+		r[16] = lg(float64(s.UnrollStep))
+	})
+	emit(func(r []float64) { // vectorize annotation
+		r[13] = 1
+		r[16] = float64(s.VectorLen)
+	})
+	if s.TensorCore {
+		emit(func(r []float64) { r[14] = 1 })
+	}
+	return out
+}
+
+// FlatPrimitives flattens the primitive sequence row-major.
+func FlatPrimitives(lw *schedule.Lowered) []float64 {
+	m := Primitives(lw)
+	out := make([]float64, 0, PrimSeq*PrimDim)
+	for _, r := range m {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+)
+
+func lowered(t *ir.Task, seed int64) *schedule.Lowered {
+	g := schedule.NewGenerator(t)
+	return schedule.Lower(t, g.Random(rand.New(rand.NewSource(seed))))
+}
+
+func TestStatementDimensions(t *testing.T) {
+	task := ir.NewMatMul(256, 256, 256, ir.FP32, 1)
+	lw := lowered(task, 1)
+	rows := Statement(lw)
+	if len(rows) != len(lw.Stmts) {
+		t.Fatalf("%d rows for %d statements", len(rows), len(lw.Stmts))
+	}
+	for i, r := range rows {
+		if len(r) != StmtDim {
+			t.Fatalf("row %d has %d dims, want %d", i, len(r), StmtDim)
+		}
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("row %d dim %d is %g", i, j, v)
+			}
+		}
+	}
+}
+
+func TestDataflowShapeAndPadding(t *testing.T) {
+	task := ir.NewMatMul(256, 256, 256, ir.FP32, 1)
+	df := Dataflow(lowered(task, 2))
+	if len(df) != DataflowSeq {
+		t.Fatalf("%d dataflow rows, want %d", len(df), DataflowSeq)
+	}
+	nonzero := 0
+	for _, r := range df {
+		if len(r) != DataflowDim {
+			t.Fatalf("dataflow row width %d, want %d", len(r), DataflowDim)
+		}
+		for _, v := range r {
+			if v != 0 {
+				nonzero++
+				break
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("tiled task should have non-zero dataflow rows")
+	}
+	if nonzero > DataflowSeq {
+		t.Fatal("impossible")
+	}
+}
+
+// TestElementwiseZeroPadding: the paper zero-pads elementwise operators'
+// dataflow features.
+func TestElementwiseZeroPadding(t *testing.T) {
+	task := ir.NewElementwise(65536, 2, ir.FP32)
+	df := Dataflow(lowered(task, 3))
+	for i, r := range df {
+		for j, v := range r {
+			if v != 0 {
+				t.Fatalf("elementwise dataflow[%d][%d] = %g, want 0", i, j, v)
+			}
+		}
+	}
+}
+
+// TestPrimitivesLowDiversity reproduces the paper's observation that TLP
+// features barely differ between schedules of one task: structural
+// (one-hot) entries are identical, only split factors vary.
+func TestPrimitivesLowDiversity(t *testing.T) {
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 1)
+	g := schedule.NewGenerator(task)
+	rng := rand.New(rand.NewSource(4))
+	a := FlatPrimitives(schedule.Lower(task, g.Random(rng)))
+	b := FlatPrimitives(schedule.Lower(task, g.Random(rng)))
+	if len(a) != PrimSeq*PrimDim || len(b) != len(a) {
+		t.Fatal("bad primitive dims")
+	}
+	differing := 0
+	for i := range a {
+		if a[i] != b[i] {
+			differing++
+		}
+	}
+	frac := float64(differing) / float64(len(a))
+	if frac > 0.05 {
+		t.Fatalf("%.2f%% of primitive features differ; the paper reports ~1.4%% for GEMM", frac*100)
+	}
+	if differing == 0 {
+		t.Fatal("two random schedules should differ somewhere")
+	}
+}
+
+func TestFeaturesDeterministic(t *testing.T) {
+	task := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 28, W: 28, CI: 128, CO: 128, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}, ir.FP32, 1)
+	lw := lowered(task, 5)
+	a := FlatDataflow(lw)
+	b := FlatDataflow(lw)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dataflow features not deterministic")
+		}
+	}
+}
+
+// TestDataflowDistinguishesSchedules: different tilings must produce
+// different dataflow features (the paper's "distinction between features"
+// design goal).
+func TestDataflowDistinguishesSchedules(t *testing.T) {
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 0)
+	g := schedule.NewGenerator(task)
+	rng := rand.New(rand.NewSource(6))
+	seen := map[string]bool{}
+	distinct := 0
+	for i := 0; i < 20; i++ {
+		key := ""
+		for _, v := range FlatDataflow(schedule.Lower(task, g.Random(rng))) {
+			key += string(rune(int(v*7) % 93))
+		}
+		if !seen[key] {
+			seen[key] = true
+			distinct++
+		}
+	}
+	if distinct < 18 {
+		t.Fatalf("only %d/20 schedules have distinct dataflow features", distinct)
+	}
+}
+
+func TestLgSafety(t *testing.T) {
+	if lg(-5) != 0 || lg(0) != 0 {
+		t.Fatal("lg must clamp non-positive inputs to 0")
+	}
+	if lg(1) != 1 { // log2(2)
+		t.Fatalf("lg(1) = %g", lg(1))
+	}
+}
+
+func TestQuantEff(t *testing.T) {
+	if quantEff(32, 32) != 1 {
+		t.Fatal("full transaction should be 1")
+	}
+	if got := quantEff(16, 32); got != 0.5 {
+		t.Fatalf("quantEff(16,32) = %g", got)
+	}
+	if quantEff(0, 32) != 0 {
+		t.Fatal("empty run should be 0")
+	}
+}

@@ -1,0 +1,454 @@
+// Package ir defines the tensor-program intermediate representation the
+// tuner searches over. A fused subgraph produced by graph partitioning is
+// flattened into a Task: a perfectly-nested loop program with spatial
+// (parallel) and reduction iterators, two read operands, one written
+// operand and an optional fused elementwise epilogue — the canonical shape
+// Ansor-style multi-level tiling applies to.
+package ir
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// OpKind classifies the fused subgraph's anchor operator.
+type OpKind int
+
+const (
+	// MatMul is a dense matrix multiplication C[M,N] = A[M,K] * B[K,N].
+	MatMul OpKind = iota
+	// BatchMatMul adds a leading batch spatial dimension.
+	BatchMatMul
+	// Conv2D is a 2-D convolution in implicit-GEMM form.
+	Conv2D
+	// DepthwiseConv2D convolves each channel independently (small K).
+	DepthwiseConv2D
+	// ConvTranspose2D is the transposed (fractionally-strided) convolution.
+	ConvTranspose2D
+	// Elementwise covers fused pointwise subgraphs with no reduction.
+	Elementwise
+	// Reduction covers softmax/norm style subgraphs (spatial + reduce, low
+	// arithmetic intensity).
+	Reduction
+)
+
+var opKindNames = [...]string{
+	MatMul:          "matmul",
+	BatchMatMul:     "batch_matmul",
+	Conv2D:          "conv2d",
+	DepthwiseConv2D: "depthwise_conv2d",
+	ConvTranspose2D: "conv2d_transpose",
+	Elementwise:     "elementwise",
+	Reduction:       "reduction",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", int(k))
+}
+
+// Precision selects the datatype the kernel computes in.
+type Precision int
+
+const (
+	// FP32 is full precision on CUDA cores.
+	FP32 Precision = iota
+	// FP16 is half precision, eligible for TensorCore (wmma) execution.
+	FP16
+)
+
+func (p Precision) String() string {
+	if p == FP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// Bytes returns the storage size of one element.
+func (p Precision) Bytes() int {
+	if p == FP16 {
+		return 2
+	}
+	return 4
+}
+
+// Operand describes how one tensor is indexed by the task's loop nest.
+// SpatialIdx / ReduceIdx list the loop axes whose tile sizes determine the
+// operand's footprint at each memory level.
+type Operand struct {
+	Name string
+	// SpatialIdx are indices into Task.Spatial touched by this operand.
+	SpatialIdx []int
+	// ReduceIdx are indices into Task.Reduce touched by this operand.
+	ReduceIdx []int
+	// FootprintScale discounts the shared-memory footprint for operands
+	// with halo reuse (conv inputs): effective footprint = product of tile
+	// extents * FootprintScale. 1 for plain operands.
+	FootprintScale float64
+	// ContigSpatial is the spatial axis the innermost storage dimension
+	// follows, or -1 when the innermost dimension is a reduction axis
+	// (ContigReduce then names it). Determines global-access coalescing.
+	ContigSpatial int
+	ContigReduce  int
+}
+
+// Touches reports whether the operand reads the given spatial axis.
+func (o *Operand) Touches(spatialAxis int) bool {
+	for _, s := range o.SpatialIdx {
+		if s == spatialAxis {
+			return true
+		}
+	}
+	return false
+}
+
+// Task is one tuning unit: a fused subgraph in canonical loop-nest form.
+type Task struct {
+	ID        string
+	Name      string
+	Kind      OpKind
+	Precision Precision
+
+	// Spatial extents (parallelisable loops) and reduction extents.
+	Spatial []int
+	Reduce  []int
+
+	// Inputs are the read operands (A, B); Output is the written operand.
+	Inputs []Operand
+	Output Operand
+
+	// FlopsPerPoint is the floating-point work per output point per
+	// reduction step (2 for multiply-add).
+	FlopsPerPoint float64
+	// FusedElemwise counts fused pointwise epilogue ops (ReLU, add, ...).
+	FusedElemwise int
+
+	// Weight is the number of occurrences of this exact subgraph in the
+	// enclosing network; used by the task scheduler and latency totals.
+	Weight int
+
+	// Meta carries operator-specific fields for vendor-library modelling
+	// (kernel size, stride, ...). Nil-safe via MetaVal.
+	Meta map[string]int
+}
+
+// MetaVal returns Meta[key] or 0.
+func (t *Task) MetaVal(key string) int {
+	if t.Meta == nil {
+		return 0
+	}
+	return t.Meta[key]
+}
+
+// OutputPoints is the number of output elements (product of spatial extents).
+func (t *Task) OutputPoints() int64 {
+	p := int64(1)
+	for _, e := range t.Spatial {
+		p *= int64(e)
+	}
+	return p
+}
+
+// ReducePoints is the product of reduction extents (1 when none).
+func (t *Task) ReducePoints() int64 {
+	p := int64(1)
+	for _, e := range t.Reduce {
+		p *= int64(e)
+	}
+	return p
+}
+
+// FLOPs is the total floating-point work of one task execution, including
+// the fused epilogue.
+func (t *Task) FLOPs() float64 {
+	return float64(t.OutputPoints())*float64(t.ReducePoints())*t.FlopsPerPoint +
+		float64(t.OutputPoints())*float64(t.FusedElemwise)
+}
+
+// FootprintBytes is the compulsory global traffic: every operand element
+// read once plus the output written once.
+func (t *Task) FootprintBytes() float64 {
+	eb := float64(t.Precision.Bytes())
+	total := float64(t.OutputPoints()) * eb
+	for i := range t.Inputs {
+		total += float64(t.operandElems(&t.Inputs[i])) * eb
+	}
+	return total
+}
+
+func (t *Task) operandElems(o *Operand) int64 {
+	p := int64(1)
+	for _, s := range o.SpatialIdx {
+		p *= int64(t.Spatial[s])
+	}
+	for _, r := range o.ReduceIdx {
+		p *= int64(t.Reduce[r])
+	}
+	return p
+}
+
+// Validate reports structural errors in the task definition.
+func (t *Task) Validate() error {
+	if len(t.Spatial) == 0 {
+		return fmt.Errorf("task %s: no spatial axes", t.Name)
+	}
+	for i, e := range t.Spatial {
+		if e <= 0 {
+			return fmt.Errorf("task %s: spatial[%d]=%d", t.Name, i, e)
+		}
+	}
+	for i, e := range t.Reduce {
+		if e <= 0 {
+			return fmt.Errorf("task %s: reduce[%d]=%d", t.Name, i, e)
+		}
+	}
+	check := func(o *Operand) error {
+		for _, s := range o.SpatialIdx {
+			if s < 0 || s >= len(t.Spatial) {
+				return fmt.Errorf("task %s operand %s: spatial index %d out of range", t.Name, o.Name, s)
+			}
+		}
+		for _, r := range o.ReduceIdx {
+			if r < 0 || r >= len(t.Reduce) {
+				return fmt.Errorf("task %s operand %s: reduce index %d out of range", t.Name, o.Name, r)
+			}
+		}
+		if o.FootprintScale <= 0 || o.FootprintScale > 1 {
+			return fmt.Errorf("task %s operand %s: footprint scale %v out of (0,1]", t.Name, o.Name, o.FootprintScale)
+		}
+		return nil
+	}
+	for i := range t.Inputs {
+		if err := check(&t.Inputs[i]); err != nil {
+			return err
+		}
+	}
+	if err := check(&t.Output); err != nil {
+		return err
+	}
+	if t.FlopsPerPoint <= 0 && len(t.Reduce) > 0 {
+		return fmt.Errorf("task %s: reduction task needs positive FlopsPerPoint", t.Name)
+	}
+	return nil
+}
+
+// fingerprint derives the stable task ID from the structural definition.
+func (t *Task) fingerprint() string {
+	h := fnv.New64a()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|%v|%v|%d|%d", t.Kind, t.Precision, t.Spatial, t.Reduce, t.FusedElemwise, len(t.Inputs))
+	for i := range t.Inputs {
+		o := &t.Inputs[i]
+		fmt.Fprintf(&sb, "|%v%v%.2f", o.SpatialIdx, o.ReduceIdx, o.FootprintScale)
+	}
+	h.Write([]byte(sb.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// finish fills derived fields and validates; all constructors funnel here.
+func (t *Task) finish() *Task {
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	for i := range t.Inputs {
+		if t.Inputs[i].FootprintScale == 0 {
+			t.Inputs[i].FootprintScale = 1
+		}
+	}
+	if t.Output.FootprintScale == 0 {
+		t.Output.FootprintScale = 1
+	}
+	t.ID = t.fingerprint()
+	if err := t.Validate(); err != nil {
+		panic(err) // constructors are called with program-controlled shapes
+	}
+	return t
+}
+
+// NewMatMul builds C[M,N] = A[M,K] x B[K,N] with fused elementwise ops.
+func NewMatMul(m, n, k int, prec Precision, fused int) *Task {
+	t := &Task{
+		Name:      fmt.Sprintf("matmul_m%d_n%d_k%d_%s", m, n, k, prec),
+		Kind:      MatMul,
+		Precision: prec,
+		Spatial:   []int{m, n},
+		Reduce:    []int{k},
+		Inputs: []Operand{
+			{Name: "A", SpatialIdx: []int{0}, ReduceIdx: []int{0}, ContigSpatial: -1, ContigReduce: 0},
+			{Name: "B", SpatialIdx: []int{1}, ReduceIdx: []int{0}, ContigSpatial: 1, ContigReduce: -1},
+		},
+		Output:        Operand{Name: "C", SpatialIdx: []int{0, 1}, ContigSpatial: 1, ContigReduce: -1},
+		FlopsPerPoint: 2,
+		FusedElemwise: fused,
+		Meta:          map[string]int{"m": m, "n": n, "k": k},
+	}
+	return t.finish()
+}
+
+// NewBatchMatMul builds C[B,M,N] = A[B,M,K] x B[B,K,N].
+func NewBatchMatMul(b, m, n, k int, prec Precision, fused int) *Task {
+	t := &Task{
+		Name:      fmt.Sprintf("batch_matmul_b%d_m%d_n%d_k%d_%s", b, m, n, k, prec),
+		Kind:      BatchMatMul,
+		Precision: prec,
+		Spatial:   []int{b, m, n},
+		Reduce:    []int{k},
+		Inputs: []Operand{
+			{Name: "A", SpatialIdx: []int{0, 1}, ReduceIdx: []int{0}, ContigSpatial: -1, ContigReduce: 0},
+			{Name: "B", SpatialIdx: []int{0, 2}, ReduceIdx: []int{0}, ContigSpatial: 2, ContigReduce: -1},
+		},
+		Output:        Operand{Name: "C", SpatialIdx: []int{0, 1, 2}, ContigSpatial: 2, ContigReduce: -1},
+		FlopsPerPoint: 2,
+		FusedElemwise: fused,
+		Meta:          map[string]int{"b": b, "m": m, "n": n, "k": k},
+	}
+	return t.finish()
+}
+
+// Conv2DShape bundles the parameters of a 2-D convolution.
+type Conv2DShape struct {
+	N, H, W    int // batch, input height/width
+	CI, CO     int // channels in/out
+	KH, KW     int // kernel
+	Stride     int
+	Pad        int
+	Depthwise  bool
+	Transposed bool
+}
+
+// Out returns the output spatial size.
+func (c Conv2DShape) Out() (oh, ow int) {
+	if c.Transposed {
+		return c.H*c.Stride + c.KH - c.Stride - 2*c.Pad, c.W*c.Stride + c.KW - c.Stride - 2*c.Pad
+	}
+	return (c.H+2*c.Pad-c.KH)/c.Stride + 1, (c.W+2*c.Pad-c.KW)/c.Stride + 1
+}
+
+// NewConv2D builds the implicit-GEMM view of a convolution: spatial axes
+// [N*OH, OW, CO], reduction axes [CI, KH*KW]. The input operand carries a
+// halo FootprintScale so shared-memory symbols reflect overlap reuse.
+func NewConv2D(s Conv2DShape, prec Precision, fused int) *Task {
+	oh, ow := s.Out()
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("conv2d shape yields empty output: %+v", s))
+	}
+	kind := Conv2D
+	ci := s.CI
+	switch {
+	case s.Depthwise:
+		kind = DepthwiseConv2D
+		ci = 1 // each output channel reduces over one input channel
+	case s.Transposed:
+		kind = ConvTranspose2D
+	}
+	// Halo reuse: a stride-s kernel k tile of output rows oh_t needs
+	// (oh_t-1)*s + k input rows; for typical tiles the per-element
+	// footprint shrinks roughly by (s/k)^2 relative to the naive product
+	// over [tile, k] axes, bounded to (0, 1].
+	halo := float64(s.Stride*s.Stride) / float64(s.KH*s.KW)
+	if halo > 1 {
+		halo = 1
+	}
+	if halo < 0.05 {
+		halo = 0.05
+	}
+	t := &Task{
+		Name: fmt.Sprintf("%s_n%d_c%d_hw%dx%d_co%d_k%dx%d_s%d_%s",
+			kind, s.N, s.CI, s.H, s.W, s.CO, s.KH, s.KW, s.Stride, prec),
+		Kind:      kind,
+		Precision: prec,
+		Spatial:   []int{s.N * oh, ow, s.CO},
+		Reduce:    []int{ci, s.KH * s.KW},
+		Inputs: []Operand{
+			{Name: "data", SpatialIdx: []int{0, 1}, ReduceIdx: []int{0, 1},
+				FootprintScale: halo, ContigSpatial: 1, ContigReduce: -1},
+			{Name: "weight", SpatialIdx: []int{2}, ReduceIdx: []int{0, 1},
+				ContigSpatial: -1, ContigReduce: 0},
+		},
+		Output:        Operand{Name: "out", SpatialIdx: []int{0, 1, 2}, ContigSpatial: 2, ContigReduce: -1},
+		FlopsPerPoint: 2,
+		FusedElemwise: fused,
+		Meta: map[string]int{
+			"n": s.N, "h": s.H, "w": s.W, "ci": s.CI, "co": s.CO,
+			"kh": s.KH, "kw": s.KW, "stride": s.Stride, "pad": s.Pad,
+			"oh": oh, "ow": ow,
+		},
+	}
+	if s.Depthwise {
+		// Depthwise output channel co consumes input channel co: the data
+		// operand is indexed by the channel spatial axis instead of a
+		// reduction channel axis.
+		t.Inputs[0].SpatialIdx = []int{0, 1, 2}
+	}
+	return t.finish()
+}
+
+// NewElementwise builds a pure pointwise fused subgraph over n elements
+// with opCount fused operations (>=1).
+func NewElementwise(n, opCount int, prec Precision) *Task {
+	if opCount < 1 {
+		opCount = 1
+	}
+	t := &Task{
+		Name:      fmt.Sprintf("elementwise_n%d_ops%d_%s", n, opCount, prec),
+		Kind:      Elementwise,
+		Precision: prec,
+		Spatial:   []int{n},
+		Inputs: []Operand{
+			{Name: "X", SpatialIdx: []int{0}, ContigSpatial: 0, ContigReduce: -1},
+		},
+		Output:        Operand{Name: "Y", SpatialIdx: []int{0}, ContigSpatial: 0, ContigReduce: -1},
+		FlopsPerPoint: 0,
+		FusedElemwise: opCount,
+		Meta:          map[string]int{"n": n},
+	}
+	return t.finish()
+}
+
+// NewReduction builds a softmax/normalisation style subgraph: rows x cols
+// with a reduction across cols and opsPerPoint flops per element.
+func NewReduction(rows, cols int, prec Precision, opsPerPoint float64) *Task {
+	t := &Task{
+		Name:      fmt.Sprintf("reduction_r%d_c%d_%s", rows, cols, prec),
+		Kind:      Reduction,
+		Precision: prec,
+		Spatial:   []int{rows},
+		Reduce:    []int{cols},
+		Inputs: []Operand{
+			{Name: "X", SpatialIdx: []int{0}, ReduceIdx: []int{0}, ContigSpatial: -1, ContigReduce: 0},
+		},
+		Output:        Operand{Name: "Y", SpatialIdx: []int{0}, ContigSpatial: 0, ContigReduce: -1},
+		FlopsPerPoint: opsPerPoint,
+		Meta:          map[string]int{"rows": rows, "cols": cols},
+	}
+	return t.finish()
+}
+
+// Tiled reports whether the task benefits from multi-level tiling (has a
+// reduction the sketch rules build a cache stage for).
+func (t *Task) Tiled() bool {
+	switch t.Kind {
+	case Elementwise:
+		return false
+	case Reduction:
+		return false
+	default:
+		return len(t.Reduce) > 0
+	}
+}
+
+// TensorCoreEligible reports whether the task can use wmma execution.
+func (t *Task) TensorCoreEligible() bool {
+	if t.Precision != FP16 || !t.Tiled() {
+		return false
+	}
+	switch t.Kind {
+	case MatMul, BatchMatMul, Conv2D:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulTask(t *testing.T) {
+	m := NewMatMul(128, 256, 512, FP32, 1)
+	if m.FLOPs() != 2*128*256*512+128*256 {
+		t.Fatalf("FLOPs = %g", m.FLOPs())
+	}
+	if m.OutputPoints() != 128*256 || m.ReducePoints() != 512 {
+		t.Fatal("points wrong")
+	}
+	wantBytes := float64((128*512 + 512*256 + 128*256) * 4)
+	if m.FootprintBytes() != wantBytes {
+		t.Fatalf("footprint = %g want %g", m.FootprintBytes(), wantBytes)
+	}
+	if !m.Tiled() {
+		t.Fatal("matmul must be tiled")
+	}
+	if m.TensorCoreEligible() {
+		t.Fatal("FP32 matmul is not TC eligible")
+	}
+	if !NewMatMul(128, 256, 512, FP16, 0).TensorCoreEligible() {
+		t.Fatal("FP16 matmul should be TC eligible")
+	}
+}
+
+func TestConv2DShapes(t *testing.T) {
+	s := Conv2DShape{N: 1, H: 224, W: 224, CI: 3, CO: 64, KH: 7, KW: 7, Stride: 2, Pad: 3}
+	oh, ow := s.Out()
+	if oh != 112 || ow != 112 {
+		t.Fatalf("out %dx%d want 112x112", oh, ow)
+	}
+	c := NewConv2D(s, FP32, 1)
+	if c.Spatial[0] != 112 || c.Spatial[1] != 112 || c.Spatial[2] != 64 {
+		t.Fatalf("spatial %v", c.Spatial)
+	}
+	if c.Reduce[0] != 3 || c.Reduce[1] != 49 {
+		t.Fatalf("reduce %v", c.Reduce)
+	}
+	// FLOPs: 2 * outputs * ci * kh * kw.
+	want := 2.0*112*112*64*3*49 + 112*112*64
+	if c.FLOPs() != want {
+		t.Fatalf("conv flops %g want %g", c.FLOPs(), want)
+	}
+}
+
+func TestConvTransposeOut(t *testing.T) {
+	s := Conv2DShape{N: 1, H: 4, W: 4, CI: 1024, CO: 512, KH: 4, KW: 4, Stride: 2, Pad: 1, Transposed: true}
+	oh, ow := s.Out()
+	if oh != 8 || ow != 8 {
+		t.Fatalf("tconv out %dx%d want 8x8", oh, ow)
+	}
+	c := NewConv2D(s, FP32, 0)
+	if c.Kind != ConvTranspose2D {
+		t.Fatal("kind should be conv transpose")
+	}
+}
+
+func TestDepthwiseReducesOnlyKernel(t *testing.T) {
+	s := Conv2DShape{N: 1, H: 56, W: 56, CI: 96, CO: 96, KH: 3, KW: 3, Stride: 1, Pad: 1, Depthwise: true}
+	c := NewConv2D(s, FP32, 0)
+	if c.Kind != DepthwiseConv2D {
+		t.Fatal("kind")
+	}
+	if c.ReducePoints() != 9 {
+		t.Fatalf("depthwise reduce points %d want 9", c.ReducePoints())
+	}
+	// Data operand must be indexed by the channel spatial axis.
+	if !c.Inputs[0].Touches(2) {
+		t.Fatal("depthwise data must touch the channel axis")
+	}
+}
+
+func TestIDStability(t *testing.T) {
+	a := NewMatMul(64, 64, 64, FP32, 1)
+	b := NewMatMul(64, 64, 64, FP32, 1)
+	if a.ID != b.ID {
+		t.Fatal("identical tasks must share IDs")
+	}
+	c := NewMatMul(64, 64, 64, FP32, 2)
+	if a.ID == c.ID {
+		t.Fatal("different fusion must change the ID")
+	}
+	d := NewMatMul(64, 64, 64, FP16, 1)
+	if a.ID == d.ID {
+		t.Fatal("precision must change the ID")
+	}
+}
+
+func TestValidateCatchesBadOperands(t *testing.T) {
+	task := NewMatMul(8, 8, 8, FP32, 0)
+	task.Inputs[0].SpatialIdx = []int{5}
+	if err := task.Validate(); err == nil {
+		t.Fatal("out-of-range spatial index should fail")
+	}
+}
+
+func TestElementwiseAndReduction(t *testing.T) {
+	e := NewElementwise(4096, 2, FP32)
+	if e.Tiled() {
+		t.Fatal("elementwise must not be tiled")
+	}
+	if e.FLOPs() != 2*4096 {
+		t.Fatalf("elementwise flops %g", e.FLOPs())
+	}
+	r := NewReduction(128, 512, FP32, 4)
+	if r.Tiled() {
+		t.Fatal("reduction sketch is flat")
+	}
+	if r.FLOPs() != 4*128*512 {
+		t.Fatalf("reduction flops %g", r.FLOPs())
+	}
+}
+
+// TestFLOPsPositiveProperty: every constructible task has positive work
+// and footprint.
+func TestFLOPsPositiveProperty(t *testing.T) {
+	f := func(mi, ni, ki uint8, fused uint8) bool {
+		m := int(mi)%512 + 1
+		n := int(ni)%512 + 1
+		k := int(ki)%512 + 1
+		task := NewMatMul(m, n, k, FP32, int(fused%3))
+		return task.FLOPs() > 0 && task.FootprintBytes() > 0 && task.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	if FP32.Bytes() != 4 || FP16.Bytes() != 2 {
+		t.Fatal("precision bytes")
+	}
+	if FP32.String() != "fp32" || FP16.String() != "fp16" {
+		t.Fatal("precision names")
+	}
+}
+
+func TestBatchMatMulOperands(t *testing.T) {
+	b := NewBatchMatMul(12, 128, 128, 64, FP32, 0)
+	if len(b.Spatial) != 3 {
+		t.Fatal("bmm needs batch spatial axis")
+	}
+	// Both inputs touch the batch axis.
+	if !b.Inputs[0].Touches(0) || !b.Inputs[1].Touches(0) {
+		t.Fatal("bmm inputs must touch batch")
+	}
+	if b.FLOPs() != 2*12*128*128*64 {
+		t.Fatalf("bmm flops %g", b.FLOPs())
+	}
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Module is anything owning trainable parameters.
+type Module interface {
+	Params() []*Tensor
+}
+
+// Linear is a fully connected layer y = x@W + b.
+type Linear struct {
+	W, B *Tensor
+}
+
+// NewLinear builds a Linear with Xavier-initialised weights.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{W: Param(rng, in, out), B: ZeroParam(1, out)}
+}
+
+// Forward applies the layer to an (N x in) batch.
+func (l *Linear) Forward(x *Tensor) *Tensor {
+	return AddBias(MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// LayerNorm holds the gain/bias of row-wise layer normalisation.
+type LayerNorm struct {
+	G, B *Tensor
+}
+
+// NewLayerNorm builds an identity-initialised LayerNorm over dim features.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := ZeroParam(1, dim)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return &LayerNorm{G: g, B: ZeroParam(1, dim)}
+}
+
+// Forward normalises each row of x.
+func (l *LayerNorm) Forward(x *Tensor) *Tensor {
+	return LayerNormRows(x, l.G, l.B)
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*Tensor { return []*Tensor{l.G, l.B} }
+
+// MLP is a stack of Linear+ReLU layers with a linear head.
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer widths (len >= 2).
+func NewMLP(rng *rand.Rand, widths ...int) *MLP {
+	if len(widths) < 2 {
+		panic("nn: MLP needs at least input and output widths")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, widths[i], widths[i+1]))
+	}
+	return m
+}
+
+// Forward applies ReLU between layers and no activation after the last.
+func (m *MLP) Forward(x *Tensor) *Tensor {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = ReLU(x)
+		}
+	}
+	return x
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Tensor {
+	var ps []*Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// SelfAttention is a single-head scaled dot-product self-attention block
+// with a residual connection and layer normalisation — the contextual
+// encoder PaCM and TLP use over their feature sequences.
+type SelfAttention struct {
+	Q, K, V, O *Linear
+	Norm       *LayerNorm
+	dim        int
+}
+
+// NewSelfAttention builds an attention block over dim-wide tokens.
+func NewSelfAttention(rng *rand.Rand, dim int) *SelfAttention {
+	return &SelfAttention{
+		Q:    NewLinear(rng, dim, dim),
+		K:    NewLinear(rng, dim, dim),
+		V:    NewLinear(rng, dim, dim),
+		O:    NewLinear(rng, dim, dim),
+		Norm: NewLayerNorm(dim),
+		dim:  dim,
+	}
+}
+
+// Forward consumes a (seq x dim) token matrix and returns the attended
+// (seq x dim) representation.
+func (a *SelfAttention) Forward(x *Tensor) *Tensor {
+	q := a.Q.Forward(x)
+	k := a.K.Forward(x)
+	v := a.V.Forward(x)
+	scores := Scale(MatMul(q, Transpose(k)), 1/math.Sqrt(float64(a.dim)))
+	attn := SoftmaxRows(scores)
+	ctx := a.O.Forward(MatMul(attn, v))
+	return a.Norm.Forward(Add(x, ctx))
+}
+
+// Params implements Module.
+func (a *SelfAttention) Params() []*Tensor {
+	var ps []*Tensor
+	for _, m := range []Module{a.Q, a.K, a.V, a.O, a.Norm} {
+		ps = append(ps, m.Params()...)
+	}
+	return ps
+}

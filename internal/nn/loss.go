@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"math"
+	"sort"
+)
+
+// MSELoss returns mean((pred - target)^2) as a scalar tensor; target is a
+// constant.
+func MSELoss(pred, target *Tensor) *Tensor {
+	d := Sub(pred, target)
+	return MeanAll(Mul(d, d))
+}
+
+// LambdaRankLoss implements the listwise LambdaRank objective the paper
+// trains PaCM with: pairwise logistic loss between items of one task,
+// weighted by the |ΔNDCG| of swapping the pair. scores is (N x 1) and must
+// require gradients; rel holds the relevance labels (higher = better, the
+// normalised throughput of the schedule).
+//
+// The returned scalar tensor carries an exact custom backward: the
+// standard lambda gradients are injected into scores.Grad.
+func LambdaRankLoss(scores *Tensor, rel []float64) *Tensor {
+	if scores.C != 1 || scores.R != len(rel) {
+		panic("nn: LambdaRankLoss shape mismatch")
+	}
+	n := len(rel)
+	if n < 2 {
+		return MeanAll(Mul(scores, Scale(scores, 0))) // zero loss, keeps graph
+	}
+
+	// Ideal DCG from relevance-sorted order; gains are the (non-negative)
+	// relevances themselves.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return rel[idx[a]] > rel[idx[b]] })
+	// rank positions by current score order
+	rank := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return scores.Data[order[a]] > scores.Data[order[b]] })
+	for pos, item := range order {
+		rank[item] = pos
+	}
+	var idcg float64
+	for pos, item := range idx {
+		idcg += rel[item] / math.Log2(float64(pos)+2)
+	}
+	if idcg <= 0 {
+		idcg = 1
+	}
+
+	lambdas := make([]float64, n)
+	var lossVal float64
+	var pairs float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rel[i] <= rel[j] {
+				continue // only pairs where i should rank above j
+			}
+			sdiff := scores.Data[i*scores.C] - scores.Data[j*scores.C]
+			// |ΔNDCG| of swapping i and j in the current ranking.
+			di := 1 / math.Log2(float64(rank[i])+2)
+			dj := 1 / math.Log2(float64(rank[j])+2)
+			deltaN := math.Abs((rel[i]-rel[j])*(di-dj)) / idcg
+			// logistic pairwise loss log(1+exp(-sdiff))
+			var l float64
+			if sdiff > 30 {
+				l = 0
+			} else if sdiff < -30 {
+				l = -sdiff
+			} else {
+				l = math.Log1p(math.Exp(-sdiff))
+			}
+			lossVal += deltaN * l
+			grad := -deltaN / (1 + math.Exp(sdiff))
+			lambdas[i] += grad
+			lambdas[j] -= grad
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		pairs = 1
+	}
+
+	var out *Tensor
+	out = newOp(1, 1, func() {
+		g := out.Grad[0] / pairs
+		for i := 0; i < n; i++ {
+			addGrad(scores, i*scores.C, g*lambdas[i])
+		}
+	}, scores)
+	out.Data[0] = lossVal / pairs
+	return out
+}

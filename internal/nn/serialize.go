@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the on-disk form of a parameter set.
+type paramBlob struct {
+	Shapes [][2]int
+	Data   [][]float64
+}
+
+// SaveParams serialises parameter values (not optimiser state) with gob.
+func SaveParams(w io.Writer, params []*Tensor) error {
+	blob := paramBlob{}
+	for _, p := range params {
+		blob.Shapes = append(blob.Shapes, [2]int{p.R, p.C})
+		d := make([]float64, len(p.Data))
+		copy(d, p.Data)
+		blob.Data = append(blob.Data, d)
+	}
+	return gob.NewEncoder(w).Encode(blob)
+}
+
+// LoadParams restores values into an architecture-compatible parameter
+// set.
+func LoadParams(r io.Reader, params []*Tensor) error {
+	var blob paramBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return err
+	}
+	if len(blob.Data) != len(params) {
+		return fmt.Errorf("nn: parameter count mismatch: blob %d vs model %d", len(blob.Data), len(params))
+	}
+	for i, p := range params {
+		if blob.Shapes[i] != [2]int{p.R, p.C} {
+			return fmt.Errorf("nn: parameter %d shape mismatch: blob %v vs model %dx%d", i, blob.Shapes[i], p.R, p.C)
+		}
+		copy(p.Data, blob.Data[i])
+	}
+	return nil
+}
+
+// CopyParams copies values from src into dst (same architecture).
+func CopyParams(dst, src []*Tensor) {
+	if len(dst) != len(src) {
+		panic("nn: CopyParams count mismatch")
+	}
+	for i := range dst {
+		if len(dst[i].Data) != len(src[i].Data) {
+			panic("nn: CopyParams shape mismatch")
+		}
+		copy(dst[i].Data, src[i].Data)
+	}
+}
+
+// MomentumUpdate applies the paper's MoA Siamese update:
+// siamese = m*siamese + (1-m)*target, elementwise over all parameters.
+func MomentumUpdate(siamese, target []*Tensor, m float64) {
+	if len(siamese) != len(target) {
+		panic("nn: MomentumUpdate count mismatch")
+	}
+	for i := range siamese {
+		s, t := siamese[i].Data, target[i].Data
+		if len(s) != len(t) {
+			panic("nn: MomentumUpdate shape mismatch")
+		}
+		for j := range s {
+			s[j] = m*s[j] + (1-m)*t[j]
+		}
+	}
+}

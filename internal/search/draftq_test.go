@@ -1,0 +1,45 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+	"pruner/internal/simulator"
+)
+
+func TestDraftQualityVsEvolution(t *testing.T) {
+	dev := device.A100
+	sim := simulator.New(dev)
+	tasks := []*ir.Task{
+		ir.NewConv2D(ir.Conv2DShape{N: 1, H: 56, W: 56, CI: 64, CO: 256, KH: 1, KW: 1, Stride: 1, Pad: 0}, ir.FP32, 1),
+		ir.NewConv2D(ir.Conv2DShape{N: 1, H: 14, W: 14, CI: 256, CO: 256, KH: 3, KW: 3, Stride: 1, Pad: 1}, ir.FP32, 1),
+		ir.NewMatMul(128, 512, 2048, ir.FP32, 1),
+	}
+	for _, task := range tasks {
+		ctx := newCtx(task, dev, 9)
+		spec := RunLSE(ctx, DefaultLSEParams())
+		bestOf := func(schs []*schedule.Schedule) float64 {
+			best := math.Inf(1)
+			for _, s := range schs {
+				if lat, err := sim.Latency(task, s); err == nil && lat < best {
+					best = lat
+				}
+			}
+			return best
+		}
+		specBest := bestOf(spec)
+		// Reference points: a random pool of the same size the draft GA
+		// screens, and a much larger pool as the per-round ceiling.
+		rng := rand.New(rand.NewSource(10))
+		randPool := ctx.Gen.InitPopulation(rng, 2048)
+		randBest := bestOf(randPool)
+		bigPool := ctx.Gen.InitPopulation(rng, 8000)
+		ceiling := bestOf(bigPool)
+		t.Logf("%s: spec512best=%.4g rand2048=%.4g rand8000=%.4g (ms x1e3: %.3f / %.3f / %.3f)",
+			task.Name, specBest, randBest, ceiling, specBest*1e3, randBest*1e3, ceiling*1e3)
+	}
+}

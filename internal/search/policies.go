@@ -1,0 +1,178 @@
+package search
+
+import (
+	"pruner/internal/schedule"
+)
+
+// AnsorPolicy is the baseline exploration mechanism: evolutionary search
+// whose fitness is the learned cost model, applied to every explored
+// candidate — the expensive pattern Table 1 quantifies.
+type AnsorPolicy struct {
+	Evo EvoParams
+	Eps float64 // ε-greedy random share of each measured batch
+}
+
+// NewAnsorPolicy returns the policy with Ansor defaults.
+func NewAnsorPolicy() *AnsorPolicy {
+	return &AnsorPolicy{Evo: DefaultEvoParams(), Eps: 0.10}
+}
+
+// Name implements Policy.
+func (p *AnsorPolicy) Name() string { return "ansor" }
+
+// NextBatch implements Policy.
+func (p *AnsorPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
+	seed := bestMeasured(ctx, p.Evo.Population/16)
+	ranked := evolve(ctx, p.Evo, seed, func(schs []*schedule.Schedule) []float64 {
+		ctx.chargeModel(len(schs))
+		return ctx.Model.Predict(ctx.Task, schs)
+	})
+	return pickBatch(ctx, ranked, n, p.Eps)
+}
+
+// PrunerPolicy is the paper's Draft-then-Verify mechanism: the Latent
+// Schedule Explorer drafts S_spec with the Symbol-based Analyzer, a small
+// random sample keeps exploration honest (Algorithm 1 line 10), and the
+// learned cost model verifies only the drafted set.
+type PrunerPolicy struct {
+	LSE LSEParams
+	// RandomDraft is the size of the random sample unioned with S_spec.
+	RandomDraft int
+	// ExploitDraft adds mutations of the task's best measured schedules to
+	// the draft set (Ansor's evolutionary exploitation, which the paper's
+	// search framework inherits); the learned model verifies them like any
+	// other draft.
+	ExploitDraft int
+	Eps          float64
+}
+
+// NewPrunerPolicy returns the policy with the paper's settings
+// (S_spec = 512).
+func NewPrunerPolicy() *PrunerPolicy {
+	return &PrunerPolicy{LSE: DefaultLSEParams(), RandomDraft: 128, ExploitDraft: 64, Eps: 0.10}
+}
+
+// Name implements Policy.
+func (p *PrunerPolicy) Name() string { return "pruner" }
+
+// NextBatch implements Policy.
+func (p *PrunerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
+	// Draft.
+	spec := RunLSE(ctx, p.LSE)
+	draft := make([]*schedule.Schedule, 0, len(spec)+p.RandomDraft+p.ExploitDraft)
+	seen := map[string]bool{}
+	for _, s := range spec {
+		seen[s.Fingerprint()] = true
+		draft = append(draft, s)
+	}
+	for _, s := range ctx.Gen.InitPopulation(ctx.RNG, p.RandomDraft) {
+		if fp := s.Fingerprint(); !seen[fp] {
+			seen[fp] = true
+			draft = append(draft, s)
+		}
+	}
+	if p.ExploitDraft > 0 {
+		elites := bestMeasured(ctx, 8)
+		for i := 0; len(elites) > 0 && i < p.ExploitDraft; i++ {
+			s := ctx.Gen.Mutate(ctx.RNG, elites[i%len(elites)])
+			if fp := s.Fingerprint(); !seen[fp] {
+				seen[fp] = true
+				draft = append(draft, s)
+			}
+		}
+	}
+	// Verify.
+	ctx.chargeModel(len(draft))
+	scores := ctx.Model.Predict(ctx.Task, draft)
+	ranked := make([]scored, len(draft))
+	for i := range draft {
+		ranked[i] = scored{sch: draft[i], score: scores[i]}
+	}
+	ranked = topK(ranked, len(ranked))
+	return pickBatch(ctx, ranked, n, p.Eps)
+}
+
+// MetaSchedulePolicy models TVM MetaSchedule: evolutionary search with a
+// learned model over TensorCore-capable sketches, with a larger random
+// exploration share than Ansor.
+type MetaSchedulePolicy struct {
+	Evo EvoParams
+	Eps float64
+}
+
+// NewMetaSchedulePolicy returns the policy with MetaSchedule-like
+// defaults.
+func NewMetaSchedulePolicy() *MetaSchedulePolicy {
+	return &MetaSchedulePolicy{
+		Evo: EvoParams{Population: 2048, Generations: 4, MutateProb: 0.80, CrossProb: 0.05},
+		Eps: 0.15,
+	}
+}
+
+// Name implements Policy.
+func (p *MetaSchedulePolicy) Name() string { return "metaschedule" }
+
+// NextBatch implements Policy.
+func (p *MetaSchedulePolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
+	seed := bestMeasured(ctx, p.Evo.Population/32)
+	ranked := evolve(ctx, p.Evo, seed, func(schs []*schedule.Schedule) []float64 {
+		ctx.chargeModel(len(schs))
+		return ctx.Model.Predict(ctx.Task, schs)
+	})
+	return pickBatch(ctx, ranked, n, p.Eps)
+}
+
+// RollerPolicy models the rule-based Roller compiler: it only considers
+// hardware-aligned candidates (full warps, power-of-two register tiles,
+// transaction-aligned innermost runs) ranked by the analytical model, with
+// no learned component. Fast, but it discards solutions outside its rules
+// — the behaviour Table 6 shows.
+type RollerPolicy struct {
+	// CandidatePool is how many random candidates are screened per batch.
+	CandidatePool int
+}
+
+// NewRollerPolicy returns the policy with its default screening pool.
+func NewRollerPolicy() *RollerPolicy { return &RollerPolicy{CandidatePool: 3000} }
+
+// Name implements Policy.
+func (p *RollerPolicy) Name() string { return "roller" }
+
+// NextBatch implements Policy.
+func (p *RollerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
+	if ctx.Draft == nil {
+		panic("search: RollerPolicy requires a draft analyzer")
+	}
+	var ranked []scored
+	pool := ctx.Gen.InitPopulation(ctx.RNG, p.CandidatePool)
+	ctx.chargeDraft(len(pool))
+	for _, s := range pool {
+		if !rollerAligned(s) {
+			continue
+		}
+		ranked = append(ranked, scored{sch: s, score: ctx.Draft.Score(schedule.Lower(ctx.Task, s))})
+	}
+	ranked = topK(ranked, len(ranked))
+	return pickBatch(ctx, ranked, n, 0)
+}
+
+// rollerAligned enforces Roller's rTile alignment rules.
+func rollerAligned(s *schedule.Schedule) bool {
+	threads := s.ThreadsPerBlock()
+	if threads%32 != 0 || threads > 1024 {
+		return false
+	}
+	for d := range s.SpatialTiles {
+		if !powerOfTwoOrOne(s.RegTile(d)) {
+			return false
+		}
+	}
+	for d := range s.ReduceTiles {
+		if !powerOfTwoOrOne(s.ReduceInner(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+func powerOfTwoOrOne(x int) bool { return x > 0 && x&(x-1) == 0 }

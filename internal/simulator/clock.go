@@ -1,0 +1,82 @@
+package simulator
+
+import "pruner/internal/device"
+
+// Clock accumulates simulated wall-clock seconds of a tuning session,
+// split into the three categories of the paper's Table 1: schedule-space
+// exploration (feature extraction + cost-model inference), cost-model
+// training, and on-device kernel measurement.
+type Clock struct {
+	Exploration float64
+	Training    float64
+	Measurement float64
+}
+
+// Total is the end-to-end compilation time in seconds.
+func (c *Clock) Total() float64 { return c.Exploration + c.Training + c.Measurement }
+
+// Add accumulates another clock (e.g. per-task clocks into a session
+// clock).
+func (c *Clock) Add(o Clock) {
+	c.Exploration += o.Exploration
+	c.Training += o.Training
+	c.Measurement += o.Measurement
+}
+
+// CostParams are the per-operation time constants of the simulated clock,
+// calibrated so that Ansor with 2,000 trials on Orin reproduces Table 1
+// (exploration ≈ 35 min, training ≈ 5.4 min, measurement ≈ 44.4 min).
+type CostParams struct {
+	// FeatureExtract is the CPU seconds to featurise one candidate for a
+	// learned cost model.
+	FeatureExtract float64
+	// ModelInfer is the amortised seconds to score one candidate with a
+	// learned cost model (GPU-batched in the paper's setup).
+	ModelInfer float64
+	// DraftEval is the seconds for one Symbol-based-Analyzer evaluation —
+	// the cheap empirical formula.
+	DraftEval float64
+	// TrainPerSample is the seconds per (sample x epoch) of online
+	// cost-model training.
+	TrainPerSample float64
+	// MeasureOverhead is the fixed per-trial cost: compile, upload, sync.
+	MeasureOverhead float64
+	// MeasureRepeats is the number of on-device runs averaged per trial.
+	MeasureRepeats float64
+}
+
+// DefaultCostParams returns calibrated constants for a device. Host-side
+// costs scale with the platform's host speed (edge devices tune slower).
+func DefaultCostParams(dev *device.Device) CostParams {
+	host := 1.0
+	switch dev.Family {
+	case "ampere": // A100 server host
+		host = 0.62
+	case "volta": // Titan V workstation
+		host = 0.78
+	case "turing":
+		host = 0.80
+	case "kepler":
+		host = 1.1
+	}
+	return CostParams{
+		FeatureExtract:  0.90e-3 * host,
+		ModelInfer:      0.41e-3 * host,
+		DraftEval:       0.035e-3 * host,
+		TrainPerSample:  1.0e-4 * host,
+		MeasureOverhead: 0.90,
+		MeasureRepeats:  400,
+	}
+}
+
+// ChargeMeasurements adds the simulated time of measuring the given
+// latencies (seconds each); failed measurements still pay the overhead.
+func (c *Clock) ChargeMeasurements(p CostParams, latencies []float64) {
+	for _, l := range latencies {
+		cost := p.MeasureOverhead
+		if l > 0 && l < 1e3 {
+			cost += l * p.MeasureRepeats
+		}
+		c.Measurement += cost
+	}
+}

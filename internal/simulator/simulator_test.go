@@ -1,0 +1,250 @@
+package simulator
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/features"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+)
+
+func flatDataflowOf(lw *schedule.Lowered) []float64 {
+	return features.FlatDataflow(lw)
+}
+
+func randomSched(t *ir.Task, seed int64) *schedule.Schedule {
+	g := schedule.NewGenerator(t)
+	g.MaxSharedWords = device.A100.SharedPerBlock
+	return g.Random(rand.New(rand.NewSource(seed)))
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	task := ir.NewMatMul(256, 256, 256, ir.FP32, 1)
+	s := randomSched(task, 1)
+	sim := New(device.A100)
+	a, err1 := sim.Latency(task, s)
+	b, err2 := sim.Latency(task, s)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Fatalf("latency not deterministic: %g vs %g", a, b)
+	}
+	// A fresh simulator instance must agree (nature net is seeded).
+	c, _ := New(device.A100).Latency(task, s)
+	if a != c {
+		t.Fatalf("latency differs across simulator instances: %g vs %g", a, c)
+	}
+}
+
+func TestLatencyScalesWithWork(t *testing.T) {
+	sim := New(device.A100)
+	small := ir.NewMatMul(256, 256, 256, ir.FP32, 0)
+	big := ir.NewMatMul(2048, 2048, 2048, ir.FP32, 0)
+	bestOf := func(task *ir.Task) float64 {
+		g := schedule.NewGenerator(task)
+		g.MaxSharedWords = device.A100.SharedPerBlock
+		rng := rand.New(rand.NewSource(2))
+		best := math.Inf(1)
+		for i := 0; i < 64; i++ {
+			if lat, err := sim.Latency(task, g.Random(rng)); err == nil && lat < best {
+				best = lat
+			}
+		}
+		return best
+	}
+	ls, lb := bestOf(small), bestOf(big)
+	// 512x more FLOPs; the bigger GEMM also reaches far higher utilisation
+	// (small kernels are launch/occupancy bound), so require >= 20x.
+	if lb < ls*20 {
+		t.Fatalf("big GEMM %g not sufficiently slower than small %g", lb, ls)
+	}
+}
+
+func TestFailureModes(t *testing.T) {
+	task := ir.NewMatMul(2048, 2048, 64, ir.FP32, 0)
+	sim := New(device.A100)
+
+	over := &schedule.Schedule{
+		SpatialTiles: [][schedule.NumSpatialLevels]int{
+			{1, 2048, 1, 1, 1}, {2048, 1, 1, 1, 1},
+		},
+		ReduceTiles: [][schedule.NumReduceLevels]int{{64, 1, 1}},
+		VectorLen:   1, UseShared: true,
+	}
+	if _, err := sim.Latency(task, over); !errors.Is(err, ErrTooManyThreads) {
+		t.Fatalf("want ErrTooManyThreads, got %v", err)
+	}
+
+	shared := &schedule.Schedule{
+		SpatialTiles: [][schedule.NumSpatialLevels]int{
+			{8, 16, 1, 16, 1}, {8, 16, 1, 16, 1},
+		},
+		ReduceTiles: [][schedule.NumReduceLevels]int{{1, 8, 8}},
+		VectorLen:   1, UseShared: true,
+	}
+	if _, err := sim.Latency(task, shared); !errors.Is(err, ErrSharedOverflow) {
+		t.Fatalf("want ErrSharedOverflow, got %v", err)
+	}
+
+	tcTask := ir.NewMatMul(512, 512, 256, ir.FP16, 0)
+	g := schedule.NewGenerator(tcTask)
+	g.TensorCore = true
+	tc := g.Random(rand.New(rand.NewSource(3)))
+	if tc.TensorCore {
+		k80sim := New(device.K80)
+		if _, err := k80sim.Latency(tcTask, tc); !errors.Is(err, ErrNoTensorCore) {
+			t.Fatalf("want ErrNoTensorCore on K80, got %v", err)
+		}
+	}
+}
+
+func TestMeasureNoiseBounded(t *testing.T) {
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 0)
+	s := randomSched(task, 4)
+	sim := New(device.T4)
+	truth, err := sim.Latency(task, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	schs := make([]*schedule.Schedule, 200)
+	for i := range schs {
+		schs[i] = s
+	}
+	var sum float64
+	for _, r := range sim.Measure(task, schs, rng) {
+		if !r.Valid {
+			t.Fatal("measurement failed unexpectedly")
+		}
+		if r.Latency < truth*0.9 || r.Latency > truth*1.1 {
+			t.Fatalf("noise too large: %g vs truth %g", r.Latency, truth)
+		}
+		sum += r.Latency
+	}
+	mean := sum / 200
+	if math.Abs(mean-truth)/truth > 0.01 {
+		t.Fatalf("noise biased: mean %g truth %g", mean, truth)
+	}
+}
+
+// TestCrossPlatformResidualCorrelated checks the MoA premise: residuals on
+// two platforms of different families correlate positively but are not
+// identical.
+func TestCrossPlatformResidualCorrelated(t *testing.T) {
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 0)
+	g := schedule.NewGenerator(task)
+	g.MaxSharedWords = device.T4.SharedPerBlock
+	rng := rand.New(rand.NewSource(6))
+	simA := New(device.T4)
+	simB := New(device.K80)
+
+	var xs, ys []float64
+	for i := 0; i < 120; i++ {
+		s := g.Random(rng)
+		lw := schedule.Lower(task, s)
+		xs = append(xs, simA.nature.eval(flatDataflowOf(lw)))
+		ys = append(ys, simB.nature.eval(flatDataflowOf(lw)))
+	}
+	r := pearson(xs, ys)
+	if r < 0.4 {
+		t.Fatalf("cross-family residual correlation %g too low for transfer to help", r)
+	}
+	if r > 0.999 {
+		t.Fatalf("residuals identical (r=%g): no cross-platform gap to adapt to", r)
+	}
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	return cov / math.Sqrt(vx*vy+1e-18)
+}
+
+func TestResidualVariesAcrossSchedules(t *testing.T) {
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 0)
+	g := schedule.NewGenerator(task)
+	g.MaxSharedWords = device.T4.SharedPerBlock
+	rng := rand.New(rand.NewSource(7))
+	sim := New(device.T4)
+	vals := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		lw := schedule.Lower(task, g.Random(rng))
+		vals[sim.nature.eval(flatDataflowOf(lw))] = true
+	}
+	if len(vals) < 25 {
+		t.Fatalf("residual nearly constant: %d distinct values / 50", len(vals))
+	}
+}
+
+func TestClockAccounting(t *testing.T) {
+	var c Clock
+	p := DefaultCostParams(device.Orin)
+	c.ChargeMeasurements(p, []float64{1e-3, 2e-3, math.Inf(1)})
+	// Two real runs at overhead + latency*repeats, one failed at overhead.
+	want := 3*p.MeasureOverhead + (1e-3+2e-3)*p.MeasureRepeats
+	if math.Abs(c.Measurement-want) > 1e-9 {
+		t.Fatalf("measurement charge %g want %g", c.Measurement, want)
+	}
+	var d Clock
+	d.Exploration = 1
+	d.Training = 2
+	d.Measurement = 3
+	c.Add(d)
+	if c.Total() != c.Exploration+c.Training+c.Measurement {
+		t.Fatal("Total must sum categories")
+	}
+}
+
+// TestTable1ExplorationShare verifies the calibrated cost constants give
+// Table 1's headline: exploration is a large share (~40%) of Ansor's
+// tuning cost on Orin.
+func TestTable1ExplorationShare(t *testing.T) {
+	p := DefaultCostParams(device.Orin)
+	// Ansor: 200 rounds x ~8000 learned-model evaluations + 2000 trials.
+	explore := 200 * 8000 * (p.FeatureExtract + p.ModelInfer)
+	measure := 2000 * (p.MeasureOverhead + 2e-3*p.MeasureRepeats)
+	share := explore / (explore + measure)
+	if share < 0.30 || share > 0.55 {
+		t.Fatalf("exploration share %g outside Table 1's regime", share)
+	}
+}
+
+func TestFP16FasterThanFP32(t *testing.T) {
+	f32 := ir.NewMatMul(1024, 1024, 1024, ir.FP32, 0)
+	f16 := ir.NewMatMul(1024, 1024, 1024, ir.FP16, 0)
+	bestOf := func(task *ir.Task, tc bool) float64 {
+		g := schedule.NewGenerator(task)
+		g.MaxSharedWords = device.A100.SharedPerBlock
+		g.TensorCore = tc
+		rng := rand.New(rand.NewSource(8))
+		sim := New(device.A100)
+		best := math.Inf(1)
+		for i := 0; i < 80; i++ {
+			if lat, err := sim.Latency(task, g.Random(rng)); err == nil && lat < best {
+				best = lat
+			}
+		}
+		return best
+	}
+	l32 := bestOf(f32, false)
+	l16tc := bestOf(f16, true)
+	if l16tc >= l32 {
+		t.Fatalf("TensorCore FP16 (%g) should beat FP32 (%g)", l16tc, l32)
+	}
+}

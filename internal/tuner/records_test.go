@@ -1,0 +1,104 @@
+package tuner
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+)
+
+func sampleRecords(t *testing.T) ([]*ir.Task, []costmodel.Record) {
+	t.Helper()
+	a := ir.NewMatMul(128, 128, 128, ir.FP32, 1)
+	b := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 28, W: 28, CI: 64, CO: 64, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}, ir.FP32, 0)
+	rng := rand.New(rand.NewSource(1))
+	var recs []costmodel.Record
+	for i, task := range []*ir.Task{a, b, a} {
+		g := schedule.NewGenerator(task)
+		lat := float64(i+1) * 1e-4
+		if i == 2 {
+			lat = math.Inf(1) // a failed build
+		}
+		recs = append(recs, costmodel.Record{Task: task, Sched: g.Random(rng), Latency: lat})
+	}
+	return []*ir.Task{a, b}, recs
+}
+
+func TestRecordsRoundtrip(t *testing.T) {
+	tasks, recs := sampleRecords(t)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Task.ID != recs[i].Task.ID {
+			t.Fatalf("record %d task mismatch", i)
+		}
+		if got[i].Sched.Fingerprint() != recs[i].Sched.Fingerprint() {
+			t.Fatalf("record %d schedule mismatch", i)
+		}
+		if math.IsInf(recs[i].Latency, 1) != math.IsInf(got[i].Latency, 1) {
+			t.Fatalf("record %d failure flag mismatch", i)
+		}
+		if !math.IsInf(recs[i].Latency, 1) && math.Abs(got[i].Latency-recs[i].Latency) > 1e-12 {
+			t.Fatalf("record %d latency %g want %g", i, got[i].Latency, recs[i].Latency)
+		}
+	}
+}
+
+func TestReadRecordsSkipsUnknownTasks(t *testing.T) {
+	tasks, recs := sampleRecords(t)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf, tasks[:1]) // only the matmul
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Task.ID != tasks[0].ID {
+			t.Fatal("unknown task leaked through")
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected 2 matmul records, got %d", len(got))
+	}
+}
+
+func TestReadRecordsRejectsCorruptLines(t *testing.T) {
+	tasks, _ := sampleRecords(t)
+	if _, err := ReadRecords(strings.NewReader("{not json"), tasks); err == nil {
+		t.Fatal("corrupt line should error")
+	}
+	// A structurally valid line with tiles that don't match the task.
+	bad := `{"task_id":"` + tasks[0].ID + `","spatial_tiles":[[1,1,1,1,1]],"reduce_tiles":[[128,1,1]],"vector_len":1}`
+	if _, err := ReadRecords(strings.NewReader(bad), tasks); err == nil {
+		t.Fatal("schedule/task mismatch should error")
+	}
+}
+
+func TestBestByTask(t *testing.T) {
+	tasks, recs := sampleRecords(t)
+	best := BestByTask(recs)
+	if len(best) != 2 {
+		t.Fatalf("%d best entries, want 2", len(best))
+	}
+	if best[tasks[0].ID].Latency != 1e-4 {
+		t.Fatalf("best matmul latency %g", best[tasks[0].ID].Latency)
+	}
+}

@@ -1,0 +1,70 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+)
+
+// taskScheduler is the gradient-based task scheduler of Ansor that
+// Algorithm 1 reuses (line 8): each round it selects the subgraph whose
+// additional trials are predicted to reduce the weighted end-to-end
+// latency the most, mixing a backward-window improvement rate with a
+// power-law forward projection, plus ε-greedy exploration.
+type taskScheduler struct {
+	states []*taskState
+	rng    *rand.Rand
+
+	// Window is the backward-gradient window in task rounds.
+	Window int
+	// Alpha blends backward (α) and forward (1-α) gradients.
+	Alpha float64
+	// Eps is the random-task probability.
+	Eps float64
+}
+
+func newTaskScheduler(states []*taskState, rng *rand.Rand) *taskScheduler {
+	return &taskScheduler{states: states, rng: rng, Window: 3, Alpha: 0.2, Eps: 0.05}
+}
+
+// next picks the task to tune this round.
+func (s *taskScheduler) next(round int) *taskState {
+	// Warm-up: round-robin until every task has been visited once.
+	if round < len(s.states) {
+		return s.states[round]
+	}
+	if s.rng.Float64() < s.Eps {
+		return s.states[s.rng.Intn(len(s.states))]
+	}
+	best := -1
+	bestGain := math.Inf(-1)
+	for i, st := range s.states {
+		g := s.gain(st)
+		if g > bestGain {
+			bestGain = g
+			best = i
+		}
+	}
+	return s.states[best]
+}
+
+// gain estimates the weighted latency reduction of giving the task one
+// more round; higher is better.
+func (s *taskScheduler) gain(st *taskState) float64 {
+	if math.IsInf(st.best, 1) {
+		return math.Inf(1) // unmeasured task: must be visited
+	}
+	n := len(st.bestHistory)
+	// Backward: recent improvement per round over the window.
+	backward := 0.0
+	if w := s.Window; n > w {
+		backward = (st.bestHistory[n-1-w] - st.best) / float64(w)
+	} else if n > 0 {
+		backward = (st.bestHistory[0] - st.best) / math.Max(1, float64(n))
+	}
+	// Forward: assume L(t) ~ C * t^-beta => one more round saves
+	// roughly beta * L / t.
+	const beta = 0.4
+	forward := beta * st.best / math.Max(1, float64(n))
+	grad := s.Alpha*backward + (1-s.Alpha)*forward
+	return float64(st.task.Weight) * grad
+}

@@ -1,0 +1,96 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/analyzer"
+	"pruner/internal/costmodel"
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+	"pruner/internal/search"
+	"pruner/internal/simulator"
+)
+
+// TestSmokePrunerTuning runs a short Draft-then-Verify session on a single
+// GEMM and checks that tuning actually improves over random sampling.
+func TestSmokePrunerTuning(t *testing.T) {
+	dev := device.A100
+	task := ir.NewMatMul(512, 512, 512, ir.FP32, 1)
+
+	res := Tune(dev, []*ir.Task{task}, Options{
+		Trials:      60,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       costmodel.NewPaCM(7),
+		OnlineTrain: true,
+		Seed:        1,
+	})
+	best := res.Best[task.ID]
+	if best.Sched == nil || math.IsInf(best.Latency, 1) {
+		t.Fatalf("no valid schedule found")
+	}
+
+	// Random baseline with the same measurement budget.
+	sim := simulator.New(dev)
+	rng := rand.New(rand.NewSource(2))
+	gen := schedule.NewGenerator(task)
+	randBest := math.Inf(1)
+	for i := 0; i < 60; i++ {
+		if lat, err := sim.Latency(task, gen.Random(rng)); err == nil && lat < randBest {
+			randBest = lat
+		}
+	}
+	t.Logf("pruner best=%.4gms random best=%.4gms curve0=%.4g final=%.4g",
+		best.Latency*1e3, randBest*1e3, res.Curve[0].WorkloadLat*1e3, res.FinalLatency*1e3)
+	if best.Latency > randBest {
+		t.Errorf("pruner (%.4g) should beat random sampling (%.4g)", best.Latency, randBest)
+	}
+	if res.Clock.Total() <= 0 {
+		t.Errorf("simulated clock did not advance")
+	}
+}
+
+// TestSmokeLSEBeatsRandomDraft checks the draft stage: the LSE's S_spec
+// should contain better true-latency schedules than a random set of the
+// same size.
+func TestSmokeLSEBeatsRandomDraft(t *testing.T) {
+	dev := device.A100
+	task := ir.NewMatMul(1024, 1024, 512, ir.FP32, 0)
+	sim := simulator.New(dev)
+	rng := rand.New(rand.NewSource(3))
+	gen := schedule.NewGenerator(task)
+
+	ctx := &search.Context{
+		Task:        task,
+		Gen:         gen,
+		RNG:         rng,
+		MeasuredSet: map[string]bool{},
+		Draft:       analyzer.New(dev),
+	}
+	params := search.DefaultLSEParams()
+	params.SpecSize = 128
+	params.Population = 256
+	spec := search.RunLSE(ctx, params)
+	if len(spec) == 0 {
+		t.Fatal("LSE returned empty S_spec")
+	}
+
+	bestOf := func(schs []*schedule.Schedule) float64 {
+		best := math.Inf(1)
+		for _, s := range schs {
+			if lat, err := sim.Latency(task, s); err == nil && lat < best {
+				best = lat
+			}
+		}
+		return best
+	}
+	lseBest := bestOf(spec)
+	randBest := bestOf(gen.InitPopulation(rng, len(spec)))
+	t.Logf("LSE best=%.4gms random best=%.4gms (spec size %d)", lseBest*1e3, randBest*1e3, len(spec))
+	if lseBest > randBest*1.2 {
+		t.Errorf("LSE draft (%.4g) should be competitive with random (%.4g)", lseBest, randBest)
+	}
+}

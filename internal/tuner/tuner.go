@@ -1,0 +1,307 @@
+// Package tuner implements the paper's Algorithm 1: full-graph tuning of a
+// partitioned workload with a gradient-based task scheduler, simulated
+// on-device measurement, online cost-model training, and the MoA-Pruner
+// Momentum online Adaptation strategy (§4.3).
+package tuner
+
+import (
+	"math"
+	"math/rand"
+
+	"pruner/internal/analyzer"
+	"pruner/internal/costmodel"
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+	"pruner/internal/search"
+	"pruner/internal/simulator"
+)
+
+// Adaptation selects how a pretrained cost model is used during online
+// tuning.
+type Adaptation int
+
+const (
+	// AdaptNone starts the cost model from scratch.
+	AdaptNone Adaptation = iota
+	// AdaptFineTune loads pretrained weights once and fine-tunes online
+	// (the paper's "O-F" baseline).
+	AdaptFineTune
+	// AdaptMoA runs the Momentum online Adaptation: the pretrained model
+	// is the Siamese network; each round the target is re-initialised from
+	// it, fine-tuned, and fed back with momentum m.
+	AdaptMoA
+)
+
+// Options configure one tuning session.
+type Options struct {
+	// Trials is the total measurement budget (paper: 2,000).
+	Trials int
+	// BatchSize is measurements per round (paper: 10).
+	BatchSize int
+	// Policy proposes candidates; Model verifies/guides it.
+	Policy search.Policy
+	Model  costmodel.Model
+	// OnlineTrain enables online cost-model updates from collected data.
+	OnlineTrain bool
+	// TrainEvery spaces online updates (rounds); MoA uses 2 by default.
+	TrainEvery int
+	// Fit configures each online training call.
+	Fit costmodel.FitOptions
+	// Adaptation + Pretrained select the cross-platform strategy.
+	Adaptation Adaptation
+	Pretrained []*nn.Tensor
+	// Momentum is MoA's m (default 0.99).
+	Momentum float64
+	// TensorCore tunes wmma schedules (MetaSchedule-style sessions).
+	TensorCore bool
+	// Seed drives all randomness in the session.
+	Seed int64
+	// Sim overrides the simulator (tests); nil builds the default.
+	Sim *simulator.Simulator
+	// Cost overrides the simulated-clock constants; zero uses defaults.
+	Cost simulator.CostParams
+	// DraftConfig tweaks the Symbol-based Analyzer (penalty ablations).
+	DraftConfig analyzer.Config
+}
+
+func (o Options) withDefaults(dev *device.Device) Options {
+	if o.Trials == 0 {
+		o.Trials = 2000
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 10
+	}
+	if o.TrainEvery == 0 {
+		if o.Adaptation == AdaptMoA {
+			o.TrainEvery = 2
+		} else {
+			o.TrainEvery = 1
+		}
+	}
+	if o.Momentum == 0 {
+		// The paper's m = 0.99 assumes ~100 Siamese updates (200 rounds,
+		// update every 2). Shorter sessions scale the momentum so the
+		// Siamese absorbs a comparable total amount of target progress:
+		// m = 0.99^(100/updates).
+		updates := float64(o.Trials) / float64(o.BatchSize) / float64(o.TrainEvery)
+		if updates < 1 {
+			updates = 1
+		}
+		o.Momentum = math.Pow(0.99, math.Min(32, 100/updates))
+	}
+	if o.Sim == nil {
+		o.Sim = simulator.New(dev)
+	}
+	if o.Cost == (simulator.CostParams{}) {
+		o.Cost = simulator.DefaultCostParams(dev)
+	}
+	if o.Fit.Epochs == 0 {
+		o.Fit.Epochs = 8
+	}
+	if o.Adaptation == AdaptMoA {
+		// Each MoA update re-initialises the target from the Siamese, so
+		// the fine-tune must re-absorb the online data every time; it gets
+		// twice the epochs, paid for by MoA's halved update frequency.
+		o.Fit.Epochs *= 2
+	}
+	return o
+}
+
+// taskState tracks per-task tuning progress.
+type taskState struct {
+	task        *ir.Task
+	gen         *schedule.Generator
+	records     []costmodel.Record
+	measuredSet map[string]bool
+	best        float64
+	bestSched   *schedule.Schedule
+	trials      int
+	// bestHistory[r] is the best latency after this task's r-th round.
+	bestHistory []float64
+}
+
+// CurvePoint is one sample of the tuning curve.
+type CurvePoint struct {
+	Round       int
+	Trials      int
+	SimSeconds  float64 // simulated wall-clock since session start
+	WorkloadLat float64 // sum over tasks of weight * best latency (s)
+}
+
+// BestEntry is the tuned result for one task.
+type BestEntry struct {
+	Task    *ir.Task
+	Sched   *schedule.Schedule
+	Latency float64
+}
+
+// Result summarises a tuning session.
+type Result struct {
+	Curve []CurvePoint
+	Best  map[string]BestEntry
+	Clock simulator.Clock
+	// FinalLatency is the workload latency (s) after the last round.
+	FinalLatency float64
+	// Records is the full measurement log (online dataset).
+	Records []costmodel.Record
+}
+
+// WorkloadLatencyAt returns the earliest simulated time the curve reaches
+// a workload latency <= target, or +Inf if never.
+func (r *Result) WorkloadLatencyAt(target float64) float64 {
+	for _, p := range r.Curve {
+		if p.WorkloadLat <= target {
+			return p.SimSeconds
+		}
+	}
+	return math.Inf(1)
+}
+
+// Tune runs Algorithm 1 over the partitioned task set on one device.
+func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
+	opt = opt.withDefaults(dev)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	draft := &analyzer.Analyzer{Dev: dev, Cfg: opt.DraftConfig}
+
+	states := make([]*taskState, len(tasks))
+	for i, t := range tasks {
+		gen := schedule.NewGenerator(t)
+		gen.MaxThreads = dev.MaxThreads
+		gen.MaxSharedWords = dev.SharedPerBlock
+		gen.TensorCore = opt.TensorCore && t.TensorCoreEligible()
+		gen.WMMA = dev.WMMA
+		if gen.WMMA == 0 {
+			gen.WMMA = 16
+		}
+		states[i] = &taskState{
+			task:        t,
+			gen:         gen,
+			measuredSet: map[string]bool{},
+			best:        math.Inf(1),
+		}
+	}
+
+	res := &Result{Best: map[string]BestEntry{}}
+	sched := newTaskScheduler(states, rng)
+
+	// MoA: the Siamese starts as a copy of the pretrained weights; plain
+	// fine-tuning loads them into the target once.
+	var siamese []*nn.Tensor
+	switch opt.Adaptation {
+	case AdaptMoA:
+		if opt.Pretrained == nil {
+			panic("tuner: AdaptMoA requires pretrained weights")
+		}
+		siamese = cloneParams(opt.Pretrained)
+		nn.CopyParams(opt.Model.Params(), siamese)
+	case AdaptFineTune:
+		if opt.Pretrained == nil {
+			panic("tuner: AdaptFineTune requires pretrained weights")
+		}
+		nn.CopyParams(opt.Model.Params(), opt.Pretrained)
+	}
+
+	var allRecords []costmodel.Record
+	rounds := (opt.Trials + opt.BatchSize - 1) / opt.BatchSize
+	for round := 0; round < rounds; round++ {
+		st := sched.next(round)
+
+		ctx := &search.Context{
+			Task:        st.task,
+			Gen:         st.gen,
+			RNG:         rng,
+			Measured:    st.records,
+			MeasuredSet: st.measuredSet,
+			Model:       opt.Model,
+			Draft:       draft,
+			Clock:       &res.Clock,
+			Cost:        opt.Cost,
+		}
+		batch := opt.Policy.NextBatch(ctx, opt.BatchSize)
+		if len(batch) == 0 {
+			continue
+		}
+
+		results := opt.Sim.Measure(st.task, batch, rng)
+		lats := make([]float64, len(results))
+		for i, r := range results {
+			lats[i] = r.Latency
+			rec := costmodel.Record{Task: st.task, Sched: batch[i], Latency: r.Latency}
+			st.records = append(st.records, rec)
+			allRecords = append(allRecords, rec)
+			st.measuredSet[batch[i].Fingerprint()] = true
+			if r.Valid && r.Latency < st.best {
+				st.best = r.Latency
+				st.bestSched = batch[i]
+			}
+		}
+		res.Clock.ChargeMeasurements(opt.Cost, lats)
+		st.trials += len(batch)
+		st.bestHistory = append(st.bestHistory, st.best)
+
+		// Online cost-model update (Algorithm 1 line 13).
+		if opt.OnlineTrain && opt.Model.Params() != nil && (round+1)%opt.TrainEvery == 0 {
+			var report costmodel.FitReport
+			if opt.Adaptation == AdaptMoA {
+				// Target re-initialised from the Siamese each update.
+				nn.CopyParams(opt.Model.Params(), siamese)
+				report = opt.Model.Fit(allRecords, opt.Fit)
+				nn.MomentumUpdate(siamese, opt.Model.Params(), opt.Momentum)
+			} else {
+				report = opt.Model.Fit(allRecords, opt.Fit)
+			}
+			res.Clock.Training += float64(report.SampleVisits) * opt.Cost.TrainPerSample * opt.Model.Costs().TrainX
+		}
+
+		res.Curve = append(res.Curve, CurvePoint{
+			Round:       round,
+			Trials:      totalTrials(states),
+			SimSeconds:  res.Clock.Total(),
+			WorkloadLat: workloadLatency(states),
+		})
+	}
+
+	for _, st := range states {
+		res.Best[st.task.ID] = BestEntry{Task: st.task, Sched: st.bestSched, Latency: st.best}
+	}
+	res.FinalLatency = workloadLatency(states)
+	res.Records = allRecords
+	return res
+}
+
+// workloadLatency is the weighted sum of per-task bests; +Inf until every
+// task has one valid measurement.
+func workloadLatency(states []*taskState) float64 {
+	var total float64
+	for _, st := range states {
+		if math.IsInf(st.best, 1) {
+			return math.Inf(1)
+		}
+		total += float64(st.task.Weight) * st.best
+	}
+	return total
+}
+
+func totalTrials(states []*taskState) int {
+	n := 0
+	for _, st := range states {
+		n += st.trials
+	}
+	return n
+}
+
+func cloneParams(ps []*nn.Tensor) []*nn.Tensor {
+	out := make([]*nn.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// SnapshotParams clones a model's current weights (e.g. after offline
+// pretraining) for later use as Pretrained.
+func SnapshotParams(m costmodel.Model) []*nn.Tensor {
+	return cloneParams(m.Params())
+}

@@ -1,0 +1,178 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/search"
+)
+
+func twoTasks() []*ir.Task {
+	a := ir.NewMatMul(256, 256, 256, ir.FP32, 1)
+	a.Weight = 4
+	b := ir.NewMatMul(512, 512, 256, ir.FP32, 1)
+	b.Weight = 1
+	return []*ir.Task{a, b}
+}
+
+func TestTaskSchedulerWarmupAndWeights(t *testing.T) {
+	tasks := twoTasks()
+	states := []*taskState{
+		{task: tasks[0], best: math.Inf(1)},
+		{task: tasks[1], best: math.Inf(1)},
+	}
+	s := newTaskScheduler(states, rand.New(rand.NewSource(1)))
+	if s.next(0) != states[0] || s.next(1) != states[1] {
+		t.Fatal("warm-up must round-robin")
+	}
+	// Unmeasured task must win over a measured one.
+	states[0].best = 1e-3
+	states[0].bestHistory = []float64{1e-3}
+	if got := s.next(2); got != states[1] {
+		t.Fatal("scheduler must visit unmeasured tasks first")
+	}
+	// With equal progress, the heavier-weighted task wins.
+	states[1].best = 1e-3
+	states[1].bestHistory = []float64{1e-3}
+	s.Eps = 0
+	if got := s.next(3); got != states[0] {
+		t.Fatal("scheduler should prefer the weight-4 task")
+	}
+}
+
+func TestCurveMonotoneAndClockAdvances(t *testing.T) {
+	res := Tune(device.T4, twoTasks(), Options{
+		Trials:      60,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       costmodel.NewPaCM(3),
+		OnlineTrain: true,
+		Seed:        2,
+	})
+	if len(res.Curve) == 0 {
+		t.Fatal("no curve")
+	}
+	prevLat := math.Inf(1)
+	prevTime := -1.0
+	for _, p := range res.Curve {
+		if p.WorkloadLat > prevLat*(1+1e-9) {
+			t.Fatalf("workload latency increased: %g -> %g", prevLat, p.WorkloadLat)
+		}
+		if !math.IsInf(p.WorkloadLat, 1) {
+			prevLat = p.WorkloadLat
+		}
+		if p.SimSeconds <= prevTime {
+			t.Fatal("simulated time must strictly advance")
+		}
+		prevTime = p.SimSeconds
+	}
+	if res.Clock.Measurement <= 0 || res.Clock.Exploration <= 0 || res.Clock.Training <= 0 {
+		t.Fatalf("clock categories must all advance: %+v", res.Clock)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("records must be collected")
+	}
+}
+
+func TestWorkloadLatencyAt(t *testing.T) {
+	r := &Result{Curve: []CurvePoint{
+		{SimSeconds: 10, WorkloadLat: 5},
+		{SimSeconds: 20, WorkloadLat: 3},
+		{SimSeconds: 30, WorkloadLat: 1},
+	}}
+	if got := r.WorkloadLatencyAt(3.5); got != 20 {
+		t.Fatalf("at(3.5) = %g want 20", got)
+	}
+	if got := r.WorkloadLatencyAt(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("unreached target should be +Inf, got %g", got)
+	}
+}
+
+func TestMoAUpdatesSiamese(t *testing.T) {
+	// Pretrain a tiny PaCM surrogate: just use fresh weights as the
+	// "pretrained" state and verify the Siamese drifts towards the target
+	// during tuning while the target starts at the Siamese.
+	pre := costmodel.NewPaCM(7)
+	snapshot := SnapshotParams(pre)
+
+	model := costmodel.NewPaCM(8)
+	res := Tune(device.T4, twoTasks()[:1], Options{
+		Trials:      30,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       model,
+		OnlineTrain: true,
+		Adaptation:  AdaptMoA,
+		Pretrained:  snapshot,
+		Momentum:    0.9,
+		Seed:        4,
+	})
+	if res.FinalLatency <= 0 {
+		t.Fatal("MoA run produced no result")
+	}
+	// After training, the model's weights must differ from the pretrained
+	// snapshot (it was fine-tuned)...
+	diff := 0.0
+	for i, p := range model.Params() {
+		for j := range p.Data {
+			diff += math.Abs(p.Data[j] - snapshot[i].Data[j])
+		}
+	}
+	if diff == 0 {
+		t.Fatal("target model never trained")
+	}
+}
+
+func TestAdaptFineTuneLoadsPretrained(t *testing.T) {
+	pre := costmodel.NewTenSetMLP(9)
+	snapshot := SnapshotParams(pre)
+	model := costmodel.NewTenSetMLP(10)
+	// Before: weights differ.
+	p0 := model.Params()[0].Data[0]
+	_ = p0
+	Tune(device.T4, twoTasks()[:1], Options{
+		Trials:     10,
+		BatchSize:  10,
+		Policy:     search.NewAnsorPolicy(),
+		Model:      model,
+		Adaptation: AdaptFineTune,
+		Pretrained: snapshot,
+		Seed:       5,
+	})
+	// Offline mode with no online training: weights must equal snapshot.
+	for i, p := range model.Params() {
+		for j := range p.Data {
+			if p.Data[j] != snapshot[i].Data[j] {
+				t.Fatal("fine-tune init should copy pretrained weights verbatim when no online training runs")
+			}
+		}
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	m := costmodel.NewPaCM(11)
+	snap := SnapshotParams(m)
+	m.Params()[0].Data[0] += 42
+	if snap[0].Data[0] == m.Params()[0].Data[0] {
+		t.Fatal("snapshot shares storage with the live model")
+	}
+	_ = nn.Tensor{}
+}
+
+func TestRollerSessionRuns(t *testing.T) {
+	res := Tune(device.TitanV, twoTasks(), Options{
+		Trials:    40,
+		BatchSize: 10,
+		Policy:    search.NewRollerPolicy(),
+		Model:     costmodel.NewRandom(12),
+		Seed:      6,
+	})
+	if math.IsInf(res.FinalLatency, 1) {
+		t.Fatal("roller found nothing")
+	}
+}

@@ -1,0 +1,228 @@
+// Package vendorlib models the off-the-shelf comparison points of the
+// evaluation: hand-optimised kernel libraries (cuBLAS/cuDNN, "cudaLib")
+// and the inference frameworks built on them (PyTorch eager, Triton,
+// Torch-TensorRT). Latencies are roofline estimates with the expert
+// algorithmic moves real libraries make — splitK for large-reduction
+// GEMMs, Winograd for 3x3 stride-1 convolutions, aggressive fusion in
+// TensorRT — so the crossovers of Figures 8-13 (libraries winning on
+// fixed large-K linears, compilers winning on irregular shapes) emerge
+// from the same physics the simulator uses.
+package vendorlib
+
+import (
+	"math"
+
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/workloads"
+)
+
+// Framework identifies a latency provider.
+type Framework int
+
+const (
+	// CudaLib is the kernel-level library path (cuBLAS / cuDNN), the
+	// "cudaLib" rows of Tables 8 and Figure 13.
+	CudaLib Framework = iota
+	// PyTorch is eager execution: cudaLib kernels, no cross-op fusion,
+	// per-op dispatch overhead.
+	PyTorch
+	// Triton is TorchInductor max-autotune Triton kernels.
+	Triton
+	// TensorRT is Torch-TensorRT: fused, library-backed engines.
+	TensorRT
+)
+
+func (f Framework) String() string {
+	switch f {
+	case CudaLib:
+		return "cudaLib"
+	case PyTorch:
+		return "pytorch"
+	case Triton:
+		return "triton"
+	default:
+		return "tensorrt"
+	}
+}
+
+// quantEff is x/(ceil(x/u)*u): utilisation of unit-quantised resources.
+func quantEff(x, u float64) float64 {
+	if x <= 0 || u <= 0 {
+		return 1
+	}
+	return x / (math.Ceil(x/u) * u)
+}
+
+// gemmDims extracts the canonical (batch, M, N, K) of a task: the last
+// spatial axis becomes N, everything before it folds into M (implicit
+// GEMM for convolutions), except batched matmuls which keep their leading
+// batch axis.
+func gemmDims(t *ir.Task) (b, m, n, k float64) {
+	b, m, n, k = 1, 1, 1, 1
+	sp := t.Spatial
+	switch {
+	case t.Kind == ir.BatchMatMul && len(sp) == 3:
+		b, m, n = float64(sp[0]), float64(sp[1]), float64(sp[2])
+	case len(sp) == 1:
+		m = float64(sp[0])
+	default:
+		for _, e := range sp[:len(sp)-1] {
+			m *= float64(e)
+		}
+		n = float64(sp[len(sp)-1])
+	}
+	for _, e := range t.Reduce {
+		k *= float64(e)
+	}
+	return b, m, n, k
+}
+
+// OpLatency estimates one kernel-level op latency (seconds) for the
+// library path, choosing the best of the library's algorithmic variants.
+// The second return names the chosen algorithm ("direct", "splitK",
+// "winograd").
+func OpLatency(dev *device.Device, t *ir.Task) (float64, string) {
+	best, algo := directLatency(dev, t, 1), "direct"
+	if s, ok := splitKLatency(dev, t); ok && s < best {
+		best, algo = s, "splitK"
+	}
+	if w, ok := winogradLatency(dev, t); ok && w < best {
+		best, algo = w, "winograd"
+	}
+	return best, algo
+}
+
+// directLatency is the library's standard tiled kernel. splitWays > 1
+// models a splitK launch of that width.
+func directLatency(dev *device.Device, t *ir.Task, splitWays float64) float64 {
+	flops := t.FLOPs()
+	bytes := t.FootprintBytes()
+	eb := float64(t.Precision.Bytes())
+
+	peak := dev.PeakFLOPS
+	effC := 0.0
+	switch t.Kind {
+	case ir.MatMul, ir.BatchMatMul:
+		effC = 0.86
+	case ir.Conv2D:
+		effC = 0.78
+	case ir.ConvTranspose2D:
+		effC = 0.60
+	case ir.DepthwiseConv2D:
+		effC = 0.30 // memory-bound regardless
+	default:
+		effC = 0.5
+	}
+	if t.Precision == ir.FP16 {
+		if dev.PeakTensorF > 0 && t.TensorCoreEligible() {
+			peak = dev.PeakTensorF
+			effC *= 0.55 // library TC efficiency at inference batch sizes
+		} else {
+			peak = dev.PeakFLOPS * 2
+		}
+	}
+
+	b, m, n, k := gemmDims(t)
+	// Shape alignment: libraries tile at 128x64; misaligned edges waste
+	// lanes.
+	effC *= math.Max(0.35, quantEff(m, 64)) * math.Max(0.35, quantEff(n, 64)) * math.Max(0.5, quantEff(k, 32))
+
+	// Device parallelism: one CTA per 128x64 tile (x batch x splitWays).
+	blocks := b * math.Ceil(m/128) * math.Ceil(n/64) * splitWays
+	waveEff := math.Max(0.06, quantEff(blocks, float64(dev.NumSMs)))
+
+	// splitK adds partial-sum traffic and a reduction pass.
+	if splitWays > 1 {
+		bytes += b * m * n * eb * (splitWays + 1)
+		k = k / splitWays
+		_ = k
+	}
+
+	effM := 0.85
+	tC := flops / (peak * effC * waveEff)
+	tM := bytes / (dev.PeakBW * effM)
+	return math.Max(tC, tM) + 0.15*math.Min(tC, tM) + dev.LaunchOverhead
+}
+
+// splitKLatency models cuBLAS splitK: eligible when the reduction is deep
+// and output parallelism is scarce (the Table 8 regime).
+func splitKLatency(dev *device.Device, t *ir.Task) (float64, bool) {
+	if t.Kind != ir.MatMul && t.Kind != ir.BatchMatMul {
+		return 0, false
+	}
+	b, m, n, k := gemmDims(t)
+	blocks := b * math.Ceil(m/128) * math.Ceil(n/64)
+	if k < 1024 || blocks > float64(dev.NumSMs) {
+		return 0, false
+	}
+	ways := math.Min(16, math.Max(2, math.Floor(k/512)))
+	return directLatency(dev, t, ways), true
+}
+
+// winogradLatency models cuDNN Winograd F(4x4, 3x3): eligible for dense
+// 3x3 stride-1 convolutions, cutting multiply work ~4x at some extra
+// transform traffic.
+func winogradLatency(dev *device.Device, t *ir.Task) (float64, bool) {
+	if t.Kind != ir.Conv2D || t.Precision != ir.FP32 {
+		return 0, false
+	}
+	if t.MetaVal("kh") != 3 || t.MetaVal("kw") != 3 || t.MetaVal("stride") != 1 {
+		return 0, false
+	}
+	if t.MetaVal("ci") < 32 || t.MetaVal("co") < 32 {
+		return 0, false
+	}
+	base := directLatency(dev, t, 1)
+	// 4x fewer multiplies, ~0.65 transform efficiency, 1.8x traffic.
+	flopWin := base * (1.0 / 4.0) / 0.65
+	return math.Max(flopWin, base*0.45) + dev.LaunchOverhead, true
+}
+
+// frameworkProfile captures how a framework composes kernels.
+type frameworkProfile struct {
+	kernelEff  float64 // multiplier on kernel-level latency
+	fused      bool    // elementwise epilogues fused into the anchor op
+	perOpOver  float64 // dispatch overhead per op instance
+	graphBonus float64 // whole-graph optimisation multiplier
+}
+
+func profileOf(fw Framework) frameworkProfile {
+	switch fw {
+	case CudaLib:
+		return frameworkProfile{kernelEff: 1.0, fused: true}
+	case PyTorch:
+		return frameworkProfile{kernelEff: 1.0, fused: false, perOpOver: 6e-6}
+	case Triton:
+		return frameworkProfile{kernelEff: 1.22, fused: true, perOpOver: 1.5e-6}
+	default: // TensorRT
+		return frameworkProfile{kernelEff: 0.97, fused: true, perOpOver: 0.8e-6, graphBonus: 0.97}
+	}
+}
+
+// TaskLatency is the framework-level latency of one task instance.
+func TaskLatency(fw Framework, dev *device.Device, t *ir.Task) float64 {
+	p := profileOf(fw)
+	lat, _ := OpLatency(dev, t)
+	lat *= p.kernelEff
+	if !p.fused && t.FusedElemwise > 0 {
+		// Each unfused elementwise op re-reads and re-writes the output.
+		bytes := 2 * float64(t.OutputPoints()) * float64(t.Precision.Bytes())
+		lat += float64(t.FusedElemwise) * (bytes/(dev.PeakBW*0.8) + p.perOpOver + dev.LaunchOverhead)
+	}
+	lat += p.perOpOver
+	return lat
+}
+
+// NetworkLatency is the end-to-end framework latency of a workload.
+func NetworkLatency(fw Framework, dev *device.Device, net *workloads.Network) float64 {
+	p := profileOf(fw)
+	var total float64
+	for _, t := range net.Tasks {
+		total += float64(t.Weight) * TaskLatency(fw, dev, t)
+	}
+	if p.graphBonus > 0 {
+		total *= p.graphBonus
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+package vendorlib
+
+import (
+	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/workloads"
+)
+
+func TestSplitKRegime(t *testing.T) {
+	// Table 8 op 4: small output, deep reduction -> splitK wins.
+	deep := ir.NewMatMul(128, 768, 3072, ir.FP16, 1)
+	_, algo := OpLatency(device.A100, deep)
+	if algo != "splitK" {
+		t.Fatalf("deep-K small-output GEMM chose %q, want splitK", algo)
+	}
+	// Wide parallel GEMM: no splitK.
+	wide := ir.NewMatMul(4096, 4096, 512, ir.FP32, 0)
+	_, algo = OpLatency(device.A100, wide)
+	if algo == "splitK" {
+		t.Fatal("wide GEMM should not use splitK")
+	}
+}
+
+func TestWinogradEligibility(t *testing.T) {
+	ok := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 56, W: 56, CI: 64, CO: 64, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}, ir.FP32, 1)
+	if _, algo := OpLatency(device.A100, ok); algo != "winograd" {
+		t.Fatalf("3x3 s1 conv chose %q, want winograd", algo)
+	}
+	strided := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 56, W: 56, CI: 64, CO: 64, KH: 3, KW: 3, Stride: 2, Pad: 1,
+	}, ir.FP32, 1)
+	if _, algo := OpLatency(device.A100, strided); algo == "winograd" {
+		t.Fatal("strided conv must not use winograd")
+	}
+	oneByOne := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 56, W: 56, CI: 64, CO: 256, KH: 1, KW: 1, Stride: 1, Pad: 0,
+	}, ir.FP32, 1)
+	if _, algo := OpLatency(device.A100, oneByOne); algo == "winograd" {
+		t.Fatal("1x1 conv must not use winograd")
+	}
+}
+
+func TestFrameworkOrdering(t *testing.T) {
+	net, err := workloads.ByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NetworkLatency(PyTorch, device.A100, net)
+	trt := NetworkLatency(TensorRT, device.A100, net)
+	tri := NetworkLatency(Triton, device.A100, net)
+	if trt >= pt {
+		t.Fatalf("TensorRT (%g) should beat eager PyTorch (%g)", trt, pt)
+	}
+	if trt >= tri {
+		t.Fatalf("TensorRT (%g) should beat Triton (%g)", trt, tri)
+	}
+	if pt <= 0 || trt <= 0 || tri <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+}
+
+func TestUnfusedElementwiseCost(t *testing.T) {
+	fused := ir.NewMatMul(512, 512, 512, ir.FP32, 2)
+	bare := ir.NewMatMul(512, 512, 512, ir.FP32, 0)
+	dPT := TaskLatency(PyTorch, device.A100, fused) - TaskLatency(PyTorch, device.A100, bare)
+	dTRT := TaskLatency(TensorRT, device.A100, fused) - TaskLatency(TensorRT, device.A100, bare)
+	if dPT <= dTRT {
+		t.Fatalf("eager epilogue cost (%g) must exceed fused cost (%g)", dPT, dTRT)
+	}
+}
+
+func TestTensorCoreLibrarySpeedup(t *testing.T) {
+	f32 := ir.NewMatMul(1024, 1024, 1024, ir.FP32, 0)
+	f16 := ir.NewMatMul(1024, 1024, 1024, ir.FP16, 0)
+	l32, _ := OpLatency(device.A100, f32)
+	l16, _ := OpLatency(device.A100, f16)
+	if l16 >= l32 {
+		t.Fatalf("FP16 library GEMM (%g) should beat FP32 (%g)", l16, l32)
+	}
+}
+
+func TestLatencyScalesAcrossDevices(t *testing.T) {
+	op := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 56, W: 56, CI: 256, CO: 256, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}, ir.FP32, 1)
+	a100, _ := OpLatency(device.A100, op)
+	orin, _ := OpLatency(device.Orin, op)
+	if orin <= a100 {
+		t.Fatalf("Orin (%g) should be slower than A100 (%g)", orin, a100)
+	}
+}
+
+func TestFrameworkNames(t *testing.T) {
+	want := map[Framework]string{CudaLib: "cudaLib", PyTorch: "pytorch", Triton: "triton", TensorRT: "tensorrt"}
+	for fw, name := range want {
+		if fw.String() != name {
+			t.Fatalf("%d name %q want %q", fw, fw.String(), name)
+		}
+	}
+}

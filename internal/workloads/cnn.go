@@ -1,0 +1,215 @@
+package workloads
+
+import "pruner/internal/ir"
+
+// ResNet50 is the (batch, 3, 224, 224) classification network, partitioned
+// into its unique conv+bn+relu fused subgraphs (TVM folds batch-norm into
+// the convolution, leaving a fused elementwise epilogue).
+func ResNet50(batch int, prec ir.Precision) *Network {
+	return resnet50Width(1, "resnet50", batch, prec)
+}
+
+// WideResNet50 doubles the bottleneck 3x3 widths of ResNet-50.
+func WideResNet50(batch int, prec ir.Precision) *Network {
+	return resnet50Width(2, "wide_resnet50", batch, prec)
+}
+
+func resnet50Width(width int, name string, batch int, prec ir.Precision) *Network {
+	b := newBuilder(name)
+	// Stem.
+	b.conv(batch, 224, 224, 3, 64, 7, 2, 3, 1, 1, prec)
+
+	// Bottleneck stages: (input hw, in channels, mid, out, blocks, stride).
+	type stage struct{ hw, cin, mid, cout, blocks, stride int }
+	stages := []stage{
+		{56, 64, 64 * width, 256, 3, 1},
+		{56, 256, 128 * width, 512, 4, 2},
+		{28, 512, 256 * width, 1024, 6, 2},
+		{14, 1024, 512 * width, 2048, 3, 2},
+	}
+	for _, s := range stages {
+		outHW := s.hw / s.stride
+		// First block: strided 3x3, plus the projection shortcut.
+		b.conv(batch, s.hw, s.hw, s.cin, s.mid, 1, 1, 0, 1, 1, prec)
+		b.conv(batch, s.hw, s.hw, s.mid, s.mid, 3, s.stride, 1, 1, 1, prec)
+		b.conv(batch, outHW, outHW, s.mid, s.cout, 1, 1, 0, 2, 1, prec) // + residual add
+		b.conv(batch, s.hw, s.hw, s.cin, s.cout, 1, s.stride, 0, 1, 1, prec)
+		// Remaining identity blocks.
+		rest := s.blocks - 1
+		b.conv(batch, outHW, outHW, s.cout, s.mid, 1, 1, 0, 1, rest, prec)
+		b.conv(batch, outHW, outHW, s.mid, s.mid, 3, 1, 1, 1, rest, prec)
+		b.conv(batch, outHW, outHW, s.mid, s.cout, 1, 1, 0, 2, rest, prec)
+	}
+	// Global pooling + classifier.
+	b.add(ir.NewReduction(batch*2048, 49, prec, 1), 1)
+	b.matmul(batch, 1000, 2048, 1, 1, prec)
+	return b.network()
+}
+
+// MobileNetV2 is the inverted-residual network at (batch, 3, 224, 224).
+func MobileNetV2(batch int, prec ir.Precision) *Network {
+	b := newBuilder("mobilenet_v2")
+	b.conv(batch, 224, 224, 3, 32, 3, 2, 1, 1, 1, prec)
+	b.dwconv(batch, 112, 112, 32, 3, 1, 1, 1, 1, prec)
+	b.conv(batch, 112, 112, 32, 16, 1, 1, 0, 1, 1, prec)
+
+	// Inverted residual stages: (hw_in, cin, cout, blocks, stride), t=6.
+	type stage struct{ hw, cin, cout, blocks, stride int }
+	stages := []stage{
+		{112, 16, 24, 2, 2},
+		{56, 24, 32, 3, 2},
+		{28, 32, 64, 4, 2},
+		{14, 64, 96, 3, 1},
+		{14, 96, 160, 3, 2},
+		{7, 160, 320, 1, 1},
+	}
+	for _, s := range stages {
+		exp := s.cin * 6
+		outHW := s.hw / s.stride
+		// First block (strided).
+		b.conv(batch, s.hw, s.hw, s.cin, exp, 1, 1, 0, 1, 1, prec)
+		b.dwconv(batch, s.hw, s.hw, exp, 3, s.stride, 1, 1, 1, prec)
+		b.conv(batch, outHW, outHW, exp, s.cout, 1, 1, 0, 1, 1, prec)
+		// Residual blocks.
+		rest := s.blocks - 1
+		expR := s.cout * 6
+		b.conv(batch, outHW, outHW, s.cout, expR, 1, 1, 0, 1, rest, prec)
+		b.dwconv(batch, outHW, outHW, expR, 3, 1, 1, 1, rest, prec)
+		b.conv(batch, outHW, outHW, expR, s.cout, 1, 1, 0, 2, rest, prec)
+	}
+	b.conv(batch, 7, 7, 320, 1280, 1, 1, 0, 1, 1, prec)
+	b.add(ir.NewReduction(batch*1280, 49, prec, 1), 1)
+	b.matmul(batch, 1000, 1280, 0, 1, prec)
+	return b.network()
+}
+
+// DenseNet121 at (batch, 3, 224, 224). Dense blocks are represented by
+// three sampled layers per block (early / middle / late input widths),
+// weighted to preserve the block's layer count.
+func DenseNet121(batch int, prec ir.Precision) *Network {
+	b := newBuilder("densenet121")
+	const growth = 32
+	b.conv(batch, 224, 224, 3, 64, 7, 2, 3, 1, 1, prec)
+
+	type block struct{ hw, cin, layers int }
+	blocks := []block{
+		{56, 64, 6}, {28, 128, 12}, {14, 256, 24}, {7, 512, 16},
+	}
+	for _, blk := range blocks {
+		// Sample the input-channel progression cin + i*growth at three
+		// points; split the layer count across them.
+		points := []int{0, blk.layers / 2, blk.layers - 1}
+		share := []int{blk.layers / 3, blk.layers / 3, blk.layers - 2*(blk.layers/3)}
+		for i, pIdx := range points {
+			cin := blk.cin + pIdx*growth
+			b.conv(batch, blk.hw, blk.hw, cin, 4*growth, 1, 1, 0, 1, share[i], prec)
+			b.conv(batch, blk.hw, blk.hw, 4*growth, growth, 3, 1, 1, 1, share[i], prec)
+		}
+		// Transition layer (not after the last block).
+		if blk.hw > 7 {
+			cout := (blk.cin + blk.layers*growth) / 2
+			b.conv(batch, blk.hw, blk.hw, blk.cin+blk.layers*growth, cout, 1, 1, 0, 1, 1, prec)
+		}
+	}
+	b.add(ir.NewReduction(batch*1024, 49, prec, 1), 1)
+	b.matmul(batch, 1000, 1024, 0, 1, prec)
+	return b.network()
+}
+
+// InceptionV3 at (batch, 3, 299, 299): the stem plus the dominant
+// convolution shapes of the three mixed-block families.
+func InceptionV3(batch int, prec ir.Precision) *Network {
+	b := newBuilder("inception_v3")
+	// Stem.
+	b.conv(batch, 299, 299, 3, 32, 3, 2, 0, 1, 1, prec)
+	b.conv(batch, 149, 149, 32, 32, 3, 1, 0, 1, 1, prec)
+	b.conv(batch, 147, 147, 32, 64, 3, 1, 1, 1, 1, prec)
+	b.conv(batch, 73, 73, 64, 80, 1, 1, 0, 1, 1, prec)
+	b.conv(batch, 73, 73, 80, 192, 3, 1, 0, 1, 1, prec)
+	// Mixed 35x35 blocks (3 of them): 1x1, 5x5 and double-3x3 towers.
+	b.conv(batch, 35, 35, 256, 64, 1, 1, 0, 1, 9, prec)
+	b.conv(batch, 35, 35, 48, 64, 5, 1, 2, 1, 3, prec)
+	b.conv(batch, 35, 35, 64, 96, 3, 1, 1, 1, 6, prec)
+	// Grid reduction to 17x17.
+	b.conv(batch, 35, 35, 288, 384, 3, 2, 0, 1, 1, prec)
+	// Mixed 17x17 blocks (4): factorised 7x7 as 1x7/7x1 pairs — modelled
+	// as kh*kw=7 kernels via two rectangular convs approximated by k=7
+	// depth-1 convs at matched FLOPs, plus the 1x1 towers.
+	b.conv(batch, 17, 17, 768, 192, 1, 1, 0, 1, 16, prec)
+	b.add(ir.NewConv2D(ir.Conv2DShape{N: batch, H: 17, W: 17, CI: 160, CO: 160, KH: 1, KW: 7, Stride: 1, Pad: 3}, prec, 1), 8)
+	b.add(ir.NewConv2D(ir.Conv2DShape{N: batch, H: 17, W: 17, CI: 160, CO: 192, KH: 7, KW: 1, Stride: 1, Pad: 3}, prec, 1), 8)
+	// Grid reduction to 8x8.
+	b.conv(batch, 17, 17, 192, 320, 3, 2, 0, 1, 1, prec)
+	// Mixed 8x8 blocks (2).
+	b.conv(batch, 8, 8, 1280, 320, 1, 1, 0, 1, 2, prec)
+	b.conv(batch, 8, 8, 1280, 384, 1, 1, 0, 1, 4, prec)
+	b.conv(batch, 8, 8, 384, 384, 3, 1, 1, 1, 8, prec)
+	b.add(ir.NewReduction(batch*2048, 64, prec, 1), 1)
+	b.matmul(batch, 1000, 2048, 0, 1, prec)
+	return b.network()
+}
+
+// DCGAN is the 64x64 generator: a latent projection plus four
+// ConvTranspose2d stages — the operator Adatune cannot tune (Figure 8).
+func DCGAN(batch int, prec ir.Precision) *Network {
+	b := newBuilder("dcgan")
+	b.matmul(batch, 4*4*1024, 100, 1, 1, prec)
+	b.tconv(batch, 4, 4, 1024, 512, 4, 2, 1, 1, 1, prec)
+	b.tconv(batch, 8, 8, 512, 256, 4, 2, 1, 1, 1, prec)
+	b.tconv(batch, 16, 16, 256, 128, 4, 2, 1, 1, 1, prec)
+	b.tconv(batch, 32, 32, 128, 3, 4, 2, 1, 1, 1, prec)
+	return b.network()
+}
+
+// DeepLabV3 with ResNet-50 backbone at (batch, 3, 224, 224): dilated
+// stages keep 28x28 resolution, followed by the ASPP head.
+func DeepLabV3(batch int, prec ir.Precision) *Network {
+	b := newBuilder("deeplab_v3")
+	b.conv(batch, 224, 224, 3, 64, 7, 2, 3, 1, 1, prec)
+	// Stages 1-2 as in ResNet-50.
+	b.conv(batch, 56, 56, 64, 64, 1, 1, 0, 1, 3, prec)
+	b.conv(batch, 56, 56, 64, 64, 3, 1, 1, 1, 3, prec)
+	b.conv(batch, 56, 56, 64, 256, 1, 1, 0, 2, 3, prec)
+	b.conv(batch, 56, 56, 256, 128, 1, 1, 0, 1, 4, prec)
+	b.conv(batch, 28, 28, 128, 128, 3, 1, 1, 1, 4, prec)
+	b.conv(batch, 28, 28, 128, 512, 1, 1, 0, 2, 4, prec)
+	// Dilated stages 3-4 at 28x28 (atrous conv = 3x3 with halo; the
+	// implicit-GEMM view is rate-independent).
+	b.conv(batch, 28, 28, 512, 256, 1, 1, 0, 1, 6, prec)
+	b.conv(batch, 28, 28, 256, 256, 3, 1, 1, 1, 6, prec)
+	b.conv(batch, 28, 28, 256, 1024, 1, 1, 0, 2, 6, prec)
+	b.conv(batch, 28, 28, 1024, 512, 1, 1, 0, 1, 3, prec)
+	b.conv(batch, 28, 28, 512, 512, 3, 1, 1, 1, 3, prec)
+	b.conv(batch, 28, 28, 512, 2048, 1, 1, 0, 2, 3, prec)
+	// ASPP: 1x1 + three atrous 3x3 branches + projection, then the
+	// classifier.
+	b.conv(batch, 28, 28, 2048, 256, 1, 1, 0, 1, 2, prec)
+	b.conv(batch, 28, 28, 2048, 256, 3, 1, 1, 1, 3, prec)
+	b.conv(batch, 28, 28, 1280, 256, 1, 1, 0, 1, 1, prec)
+	b.conv(batch, 28, 28, 256, 21, 1, 1, 0, 0, 1, prec)
+	return b.network()
+}
+
+// ResNet3D18 is the video-classification test-set network of TenSet. Its
+// 3x3x3 convolutions over 8 frames are folded into the implicit-GEMM view
+// as kh*kw=27 kernels with the frame axis in the batch dimension.
+func ResNet3D18(batch int, prec ir.Precision) *Network {
+	b := newBuilder("resnet3d18")
+	frames := 8
+	add3d := func(hw, cin, cout, stride, count int) {
+		b.add(ir.NewConv2D(ir.Conv2DShape{
+			N: batch * frames, H: hw, W: hw, CI: cin, CO: cout,
+			KH: 3, KW: 9, Stride: stride, Pad: 1, // kh*kw = 27 taps
+		}, prec, 1), count)
+	}
+	b.conv(batch*frames, 112, 112, 3, 64, 7, 2, 3, 1, 1, prec)
+	add3d(56, 64, 64, 1, 4)
+	add3d(56, 64, 128, 2, 1)
+	add3d(28, 128, 128, 1, 3)
+	add3d(28, 128, 256, 2, 1)
+	add3d(14, 256, 256, 1, 3)
+	add3d(14, 256, 512, 2, 1)
+	add3d(7, 512, 512, 1, 3)
+	b.matmul(batch, 400, 512, 0, 1, prec)
+	return b.network()
+}

@@ -1,0 +1,145 @@
+package workloads
+
+import "pruner/internal/ir"
+
+// transformerLayers adds the fused subgraphs of nLayers transformer
+// blocks over seq tokens: QKV/output projections, the two attention
+// batched matmuls, softmax, layer norms, and the MLP. gated selects the
+// Llama/Mistral SwiGLU MLP (gate/up/down) over the GELU MLP.
+func transformerLayers(b *builder, batch, seq, nLayers, hidden, inter, heads int, gated bool, prec ir.Precision) {
+	m := batch * seq
+	headDim := hidden / heads
+
+	// Attention projections: Q, K, V and the output projection share one
+	// shape.
+	b.matmul(m, hidden, hidden, 1, 4*nLayers, prec)
+	// QK^T and attn@V, one per layer.
+	b.bmm(batch*heads, seq, seq, headDim, 1, nLayers, prec)
+	b.add(ir.NewReduction(batch*heads*seq, seq, prec, 4), nLayers) // softmax
+	b.bmm(batch*heads, seq, headDim, seq, 0, nLayers, prec)
+	// Layer norms (two per block).
+	b.add(ir.NewReduction(m, hidden, prec, 4), 2*nLayers)
+	// MLP.
+	if gated {
+		b.matmul(m, inter, hidden, 1, 2*nLayers, prec) // gate & up
+		b.add(ir.NewElementwise(m*inter, 2, prec), nLayers)
+		b.matmul(m, hidden, inter, 1, nLayers, prec) // down
+	} else {
+		b.matmul(m, inter, hidden, 1, nLayers, prec) // fc1 + GELU
+		b.matmul(m, hidden, inter, 1, nLayers, prec) // fc2 + residual
+	}
+}
+
+// BERT builds an encoder-only model per Table 4.
+func BERT(name string, batch, seq, layers, hidden, inter, heads int, prec ir.Precision) *Network {
+	b := newBuilder(name)
+	transformerLayers(b, batch, seq, layers, hidden, inter, heads, false, prec)
+	// Pooler + classifier head.
+	b.matmul(batch, hidden, hidden, 1, 1, prec)
+	return b.network()
+}
+
+// DecoderLM builds a decoder-only language model (prefill phase) per
+// Table 4. gated selects the SwiGLU variants (Llama, Mistral).
+func DecoderLM(name string, batch, seq, layers, hidden, inter, heads int, gated bool, prec ir.Precision) *Network {
+	b := newBuilder(name)
+	transformerLayers(b, batch, seq, layers, hidden, inter, heads, gated, prec)
+	// LM head is shape-shared with embeddings; include the final
+	// projection to a truncated vocabulary tile (full vocab matmuls are
+	// memory-bound embeddings in practice).
+	b.matmul(batch*seq, 4096, hidden, 0, 1, prec)
+	return b.network()
+}
+
+// LLM rebuilds a named language-model workload with explicit batch,
+// sequence length and precision (TensorCore experiments use FP16).
+func LLM(name string, batch, seq int, prec ir.Precision) (*Network, error) {
+	switch name {
+	case "bert_tiny":
+		return BERT("bert_tiny", batch, seq, 6, 512, 2048, 8, prec), nil
+	case "bert_base":
+		return BERT("bert_base", batch, seq, 12, 768, 3072, 12, prec), nil
+	case "bert_large":
+		return BERT("bert_large", batch, seq, 24, 1024, 4096, 16, prec), nil
+	case "gpt2":
+		return DecoderLM("gpt2", batch, seq, 12, 768, 3072, 12, false, prec), nil
+	case "llama":
+		return DecoderLM("llama", batch, seq, 12, 768, 3072, 12, true, prec), nil
+	case "opt":
+		return DecoderLM("opt", batch, seq, 24, 2048, 8192, 32, false, prec), nil
+	case "mistral":
+		return DecoderLM("mistral", batch, seq, 32, 4096, 14336, 32, true, prec), nil
+	default:
+		return ByName(name)
+	}
+}
+
+// LlamaDecode builds the token-by-token decoding workload of Figures 10
+// and 13: batch decode with a KV cache of ctx tokens. Linear projections
+// see M = batch rows; attention matmuls grow with the context.
+func LlamaDecode(batch, ctx int, prec ir.Precision) *Network {
+	const (
+		layers = 12
+		hidden = 768
+		inter  = 3072
+		heads  = 12
+	)
+	b := newBuilder("llama_decode")
+	headDim := hidden / heads
+	// Projections q/k/v/o.
+	b.matmul(batch, hidden, hidden, 1, 4*layers, prec)
+	// QK^T over the KV cache and attn@V.
+	b.bmm(batch*heads, 1, ctx, headDim, 0, layers, prec)
+	b.add(ir.NewReduction(batch*heads, ctx, prec, 4), layers)
+	b.bmm(batch*heads, 1, headDim, ctx, 0, layers, prec)
+	// Gated MLP.
+	b.matmul(batch, inter, hidden, 1, 2*layers, prec)
+	b.matmul(batch, hidden, inter, 1, layers, prec)
+	// Norms.
+	b.add(ir.NewReduction(batch, hidden, prec, 4), 2*layers)
+	return b.network()
+}
+
+// ViT is the vision transformer of the evaluation: 32x32 patches over a
+// 256x256 image give 65 tokens (64 patches + class token) at hidden 1024,
+// matching the linear-operator example of §6.1.
+func ViT(batch int, prec ir.Precision) *Network {
+	b := newBuilder("vit")
+	const (
+		tokens = 65
+		hidden = 1024
+		inter  = 4096
+		layers = 12
+		heads  = 16
+	)
+	// Patch embedding: 32x32x3 patches to hidden.
+	b.matmul(batch*64, hidden, 32*32*3, 1, 1, prec)
+	transformerLayers(b, batch, tokens, layers, hidden, inter, heads, false, prec)
+	// The paper's cited projection: (1, 65, 2048) x (2048, 1024).
+	b.matmul(batch*tokens, hidden, 2048, 1, 1, prec)
+	b.matmul(batch, 1000, hidden, 0, 1, prec)
+	return b.network()
+}
+
+// DeTR combines the ResNet-50 backbone with a 6+6 layer transformer over
+// the flattened 2048-channel feature map.
+func DeTR(batch int, prec ir.Precision) *Network {
+	b := newBuilder("detr")
+	// Backbone (shared shapes with ResNet-50 at 256 input => 8x8 grid
+	// tokens from a 256x256 image).
+	backbone := resnet50Width(1, "detr_backbone", batch, prec)
+	for _, t := range backbone.Tasks {
+		if t.Kind == ir.Conv2D {
+			b.add(t, t.Weight)
+		}
+	}
+	// Input projection 2048 -> 256.
+	b.conv(batch, 8, 8, 2048, 256, 1, 1, 0, 1, 1, prec)
+	// Encoder over 64 tokens + decoder over 100 queries, hidden 256.
+	transformerLayers(b, batch, 64, 6, 256, 2048, 8, false, prec)
+	transformerLayers(b, batch, 100, 6, 256, 2048, 8, false, prec)
+	// Prediction heads.
+	b.matmul(batch*100, 256, 256, 1, 2, prec)
+	b.matmul(batch*100, 92, 256, 0, 1, prec)
+	return b.network()
+}

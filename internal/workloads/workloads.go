@@ -1,0 +1,146 @@
+// Package workloads defines the DNN model zoo of the paper's evaluation
+// (Tables 3 and 4) as partitioned tuning tasks: each network is the list
+// of unique fused subgraphs TVM's graph partitioning would produce, with
+// Weight counting how often each subgraph recurs. Shapes follow the
+// published architectures; repeated structures (dense blocks, inception
+// mixes) are represented by their dominant layers, documented per network.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"pruner/internal/ir"
+)
+
+// Network is one end-to-end workload.
+type Network struct {
+	Name  string
+	Tasks []*ir.Task
+}
+
+// TotalWeight returns the number of subgraph instances.
+func (n *Network) TotalWeight() int {
+	total := 0
+	for _, t := range n.Tasks {
+		total += t.Weight
+	}
+	return total
+}
+
+// builder aggregates identical subgraphs into weights.
+type builder struct {
+	name  string
+	index map[string]*ir.Task
+	order []*ir.Task
+}
+
+func newBuilder(name string) *builder {
+	return &builder{name: name, index: map[string]*ir.Task{}}
+}
+
+// add registers count occurrences of the task.
+func (b *builder) add(t *ir.Task, count int) {
+	if count <= 0 {
+		return
+	}
+	if prev, ok := b.index[t.ID]; ok {
+		prev.Weight += count
+		return
+	}
+	t.Weight = count
+	b.index[t.ID] = t
+	b.order = append(b.order, t)
+}
+
+func (b *builder) network() *Network {
+	return &Network{Name: b.name, Tasks: b.order}
+}
+
+// conv is shorthand for adding a conv2d subgraph with a fused epilogue.
+func (b *builder) conv(n, h, w, ci, co, k, stride, pad, fused, count int, prec ir.Precision) {
+	b.add(ir.NewConv2D(ir.Conv2DShape{
+		N: n, H: h, W: w, CI: ci, CO: co, KH: k, KW: k, Stride: stride, Pad: pad,
+	}, prec, fused), count)
+}
+
+// dwconv adds a depthwise conv subgraph.
+func (b *builder) dwconv(n, h, w, c, k, stride, pad, fused, count int, prec ir.Precision) {
+	b.add(ir.NewConv2D(ir.Conv2DShape{
+		N: n, H: h, W: w, CI: c, CO: c, KH: k, KW: k, Stride: stride, Pad: pad, Depthwise: true,
+	}, prec, fused), count)
+}
+
+// tconv adds a transposed conv subgraph (DCGAN generator).
+func (b *builder) tconv(n, h, w, ci, co, k, stride, pad, fused, count int, prec ir.Precision) {
+	b.add(ir.NewConv2D(ir.Conv2DShape{
+		N: n, H: h, W: w, CI: ci, CO: co, KH: k, KW: k, Stride: stride, Pad: pad, Transposed: true,
+	}, prec, fused), count)
+}
+
+// matmul adds a dense subgraph.
+func (b *builder) matmul(m, n, k, fused, count int, prec ir.Precision) {
+	b.add(ir.NewMatMul(m, n, k, prec, fused), count)
+}
+
+// bmm adds a batched matmul subgraph (attention).
+func (b *builder) bmm(bt, m, n, k, fused, count int, prec ir.Precision) {
+	b.add(ir.NewBatchMatMul(bt, m, n, k, prec, fused), count)
+}
+
+// Registry lists all workload constructors by canonical name.
+var registry = map[string]func() *Network{
+	"resnet50":       func() *Network { return ResNet50(1, ir.FP32) },
+	"wide_resnet50":  func() *Network { return WideResNet50(1, ir.FP32) },
+	"mobilenet_v2":   func() *Network { return MobileNetV2(1, ir.FP32) },
+	"densenet121":    func() *Network { return DenseNet121(1, ir.FP32) },
+	"inception_v3":   func() *Network { return InceptionV3(1, ir.FP32) },
+	"dcgan":          func() *Network { return DCGAN(1, ir.FP32) },
+	"deeplab_v3":     func() *Network { return DeepLabV3(1, ir.FP32) },
+	"vit":            func() *Network { return ViT(1, ir.FP32) },
+	"detr":           func() *Network { return DeTR(1, ir.FP32) },
+	"bert_base":      func() *Network { return BERT("bert_base", 1, 128, 12, 768, 3072, 12, ir.FP32) },
+	"bert_tiny":      func() *Network { return BERT("bert_tiny", 1, 128, 6, 512, 2048, 8, ir.FP32) },
+	"bert_large":     func() *Network { return BERT("bert_large", 1, 128, 24, 1024, 4096, 16, ir.FP32) },
+	"gpt2":           func() *Network { return DecoderLM("gpt2", 1, 128, 12, 768, 3072, 12, false, ir.FP32) },
+	"llama":          func() *Network { return DecoderLM("llama", 1, 128, 12, 768, 3072, 12, true, ir.FP32) },
+	"opt":            func() *Network { return DecoderLM("opt", 1, 128, 24, 2048, 8192, 32, false, ir.FP32) },
+	"mistral":        func() *Network { return DecoderLM("mistral", 1, 128, 32, 4096, 14336, 32, true, ir.FP32) },
+	"resnet3d18":     func() *Network { return ResNet3D18(1, ir.FP32) },
+	"llama_decode1k": func() *Network { return LlamaDecode(32, 1024, ir.FP32) },
+	"llama_decode4k": func() *Network { return LlamaDecode(32, 4096, ir.FP32) },
+}
+
+// ByName builds a workload from the registry.
+func ByName(name string) (*Network, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown network %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists registered networks.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Representative returns up to n tasks of the network ranked by their
+// weighted FLOPs share — the scaled experiment harness tunes these instead
+// of every subgraph. n <= 0 returns all tasks.
+func (w *Network) Representative(n int) []*ir.Task {
+	if n <= 0 || n >= len(w.Tasks) {
+		return w.Tasks
+	}
+	tasks := make([]*ir.Task, len(w.Tasks))
+	copy(tasks, w.Tasks)
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return float64(tasks[i].Weight)*tasks[i].FLOPs() > float64(tasks[j].Weight)*tasks[j].FLOPs()
+	})
+	return tasks[:n]
+}

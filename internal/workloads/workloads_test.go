@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"testing"
+
+	"pruner/internal/ir"
+)
+
+func TestAllNetworksBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		net, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(net.Tasks) < 3 {
+			t.Errorf("%s: only %d unique tasks", name, len(net.Tasks))
+		}
+		seen := map[string]bool{}
+		for _, task := range net.Tasks {
+			if err := task.Validate(); err != nil {
+				t.Errorf("%s / %s: %v", name, task.Name, err)
+			}
+			if task.Weight < 1 {
+				t.Errorf("%s / %s: weight %d", name, task.Name, task.Weight)
+			}
+			if seen[task.ID] {
+				t.Errorf("%s: duplicate task %s — builder aggregation broken", name, task.Name)
+			}
+			seen[task.ID] = true
+		}
+	}
+}
+
+func TestResNet50Scale(t *testing.T) {
+	net := ResNet50(1, ir.FP32)
+	var flops float64
+	for _, task := range net.Tasks {
+		flops += float64(task.Weight) * task.FLOPs()
+	}
+	// ResNet-50 at 224x224 is ~3.8-4.1 GFLOPs (x2 for MACs counted as 2).
+	if flops < 6e9 || flops > 11e9 {
+		t.Fatalf("ResNet-50 total = %.3g FLOPs, expected ~8e9", flops)
+	}
+	if net.TotalWeight() < 50 {
+		t.Fatalf("ResNet-50 has %d subgraph instances, expected > 50", net.TotalWeight())
+	}
+}
+
+func TestWideResNetIsWider(t *testing.T) {
+	r := ResNet50(1, ir.FP32)
+	w := WideResNet50(1, ir.FP32)
+	var rf, wf float64
+	for _, task := range r.Tasks {
+		rf += float64(task.Weight) * task.FLOPs()
+	}
+	for _, task := range w.Tasks {
+		wf += float64(task.Weight) * task.FLOPs()
+	}
+	if wf < rf*1.5 {
+		t.Fatalf("WideResNet-50 (%.3g) should be much heavier than ResNet-50 (%.3g)", wf, rf)
+	}
+}
+
+func TestBERTVariantsScaleWithConfig(t *testing.T) {
+	tiny, _ := ByName("bert_tiny")
+	base, _ := ByName("bert_base")
+	large, _ := ByName("bert_large")
+	f := func(n *Network) float64 {
+		var total float64
+		for _, task := range n.Tasks {
+			total += float64(task.Weight) * task.FLOPs()
+		}
+		return total
+	}
+	if !(f(tiny) < f(base) && f(base) < f(large)) {
+		t.Fatalf("BERT scaling broken: tiny %.3g base %.3g large %.3g", f(tiny), f(base), f(large))
+	}
+}
+
+func TestDCGANHasConvTranspose(t *testing.T) {
+	net, _ := ByName("dcgan")
+	found := false
+	for _, task := range net.Tasks {
+		if task.Kind == ir.ConvTranspose2D {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DCGAN must contain ConvTranspose2D (the Adatune failure case)")
+	}
+}
+
+func TestMobileNetHasDepthwise(t *testing.T) {
+	net, _ := ByName("mobilenet_v2")
+	found := false
+	for _, task := range net.Tasks {
+		if task.Kind == ir.DepthwiseConv2D {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("MobileNet-V2 must contain depthwise convolutions")
+	}
+}
+
+func TestRepresentativeOrdering(t *testing.T) {
+	net, _ := ByName("resnet50")
+	top := net.Representative(5)
+	if len(top) != 5 {
+		t.Fatalf("Representative(5) returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		a := float64(top[i-1].Weight) * top[i-1].FLOPs()
+		b := float64(top[i].Weight) * top[i].FLOPs()
+		if b > a {
+			t.Fatal("Representative not sorted by weighted FLOPs")
+		}
+	}
+	if got := net.Representative(0); len(got) != len(net.Tasks) {
+		t.Fatal("Representative(0) must return all tasks")
+	}
+}
+
+func TestLLMPrecisionVariants(t *testing.T) {
+	fp16, err := LLM("gpt2", 1, 128, ir.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := 0
+	for _, task := range fp16.Tasks {
+		if task.Precision != ir.FP16 {
+			t.Fatalf("task %s not FP16", task.Name)
+		}
+		if task.TensorCoreEligible() {
+			tc++
+		}
+	}
+	if tc == 0 {
+		t.Fatal("FP16 GPT-2 should have TensorCore-eligible tasks")
+	}
+}
+
+func TestLlamaDecodeContextScaling(t *testing.T) {
+	d1 := LlamaDecode(32, 1024, ir.FP32)
+	d4 := LlamaDecode(32, 4096, ir.FP32)
+	f := func(n *Network) float64 {
+		var total float64
+		for _, task := range n.Tasks {
+			total += float64(task.Weight) * task.FLOPs()
+		}
+		return total
+	}
+	if f(d4) <= f(d1) {
+		t.Fatal("4K context decode must be heavier than 1K")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("unknown network should error")
+	}
+}

@@ -1,0 +1,251 @@
+package pruner
+
+import (
+	"fmt"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/dataset"
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+	"pruner/internal/search"
+	"pruner/internal/simulator"
+	"pruner/internal/tuner"
+	"pruner/internal/workloads"
+)
+
+// Re-exported core types. External importers cannot reach the internal
+// packages directly; these aliases are the supported surface.
+type (
+	// Device is a GPU platform model.
+	Device = device.Device
+	// Task is one fused-subgraph tuning unit.
+	Task = ir.Task
+	// Network is a partitioned DNN workload.
+	Network = workloads.Network
+	// Schedule is a point in the tiling search space.
+	Schedule = schedule.Schedule
+	// Result is a tuning-session outcome (curve, per-task bests, clock).
+	Result = tuner.Result
+	// CurvePoint samples the tuning curve.
+	CurvePoint = tuner.CurvePoint
+	// Record is one measured tensor program.
+	Record = costmodel.Record
+	// Dataset is a TenSet-style measured schedule collection.
+	Dataset = dataset.Dataset
+	// Model is a cost model (learned or analytical).
+	Model = costmodel.Model
+)
+
+// Preset devices of the paper's evaluation.
+var (
+	A100   = device.A100
+	TitanV = device.TitanV
+	Orin   = device.Orin
+	K80    = device.K80
+	T4     = device.T4
+)
+
+// DeviceByName resolves a preset device ("a100", "titanv", "orin", "k80",
+// "t4").
+func DeviceByName(name string) (*Device, error) { return device.ByName(name) }
+
+// LoadNetwork builds a workload from the model zoo (see NetworkNames).
+func LoadNetwork(name string) (*Network, error) { return workloads.ByName(name) }
+
+// NetworkNames lists the available workloads.
+func NetworkNames() []string { return workloads.Names() }
+
+// Method selects a tuning approach.
+type Method string
+
+// Supported tuning methods.
+const (
+	// MethodPruner is the paper's Draft-then-Verify mechanism with PaCM
+	// trained online.
+	MethodPruner Method = "pruner"
+	// MethodMoAPruner adds Momentum online Adaptation from pretrained
+	// cross-platform weights (requires Config.Pretrained).
+	MethodMoAPruner Method = "moa-pruner"
+	// MethodAnsor is evolutionary search with an online statement-feature
+	// MLP over all explored candidates.
+	MethodAnsor Method = "ansor"
+	// MethodTenSetMLP is Ansor-style search guided by an offline
+	// pretrained MLP (requires Config.Pretrained).
+	MethodTenSetMLP Method = "tensetmlp"
+	// MethodTLP is Ansor-style search guided by the offline TLP
+	// transformer (requires Config.Pretrained).
+	MethodTLP Method = "tlp"
+	// MethodPrunerOffline drafts with LSE and verifies with an offline
+	// pretrained PaCM (requires Config.Pretrained).
+	MethodPrunerOffline Method = "pruner-offline"
+	// MethodMetaSchedule is the TensorCore-capable evolutionary baseline.
+	MethodMetaSchedule Method = "metaschedule"
+	// MethodRoller is the rule-based aligned-tile baseline.
+	MethodRoller Method = "roller"
+)
+
+// Pretrained carries cost-model weights from offline pretraining, keyed to
+// the model architecture that produced them.
+type Pretrained struct {
+	Kind    string // "pacm", "tensetmlp", "tlp"
+	Weights []*nn.Tensor
+}
+
+// Config tunes a session.
+type Config struct {
+	Method Method
+	// Trials is the measurement budget (default 2,000).
+	Trials int
+	// BatchSize is measurements per round (default 10).
+	BatchSize int
+	// Seed fixes all randomness.
+	Seed int64
+	// Pretrained supplies offline weights for the methods that need them.
+	Pretrained *Pretrained
+	// TensorCore enables wmma schedules on FP16 workloads.
+	TensorCore bool
+	// MaxTasks optionally tunes only the top-N subgraphs by FLOPs share
+	// (scaled experiments); 0 tunes all.
+	MaxTasks int
+}
+
+// Tune runs a full tuning session of the network on the device.
+func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
+	tasks := net.Representative(cfg.MaxTasks)
+	opt := tuner.Options{
+		Trials:     cfg.Trials,
+		BatchSize:  cfg.BatchSize,
+		Seed:       cfg.Seed,
+		TensorCore: cfg.TensorCore,
+	}
+	needPretrained := func(kind string) ([]*nn.Tensor, error) {
+		if cfg.Pretrained == nil {
+			return nil, fmt.Errorf("pruner: method %q requires Config.Pretrained", cfg.Method)
+		}
+		if cfg.Pretrained.Kind != kind {
+			return nil, fmt.Errorf("pruner: method %q needs %q weights, got %q", cfg.Method, kind, cfg.Pretrained.Kind)
+		}
+		return cfg.Pretrained.Weights, nil
+	}
+	switch cfg.Method {
+	case MethodPruner, "":
+		opt.Policy = search.NewPrunerPolicy()
+		opt.Model = costmodel.NewPaCM(cfg.Seed + 1)
+		opt.OnlineTrain = true
+	case MethodMoAPruner:
+		w, err := needPretrained("pacm")
+		if err != nil {
+			return nil, err
+		}
+		opt.Policy = search.NewPrunerPolicy()
+		opt.Model = costmodel.NewPaCM(cfg.Seed + 1)
+		opt.OnlineTrain = true
+		opt.Adaptation = tuner.AdaptMoA
+		opt.Pretrained = w
+	case MethodAnsor:
+		opt.Policy = search.NewAnsorPolicy()
+		opt.Model = costmodel.NewTenSetMLP(cfg.Seed + 1)
+		opt.OnlineTrain = true
+	case MethodTenSetMLP:
+		w, err := needPretrained("tensetmlp")
+		if err != nil {
+			return nil, err
+		}
+		opt.Policy = search.NewAnsorPolicy()
+		opt.Model = costmodel.NewTenSetMLP(cfg.Seed + 1)
+		opt.Adaptation = tuner.AdaptFineTune
+		opt.Pretrained = w
+	case MethodTLP:
+		w, err := needPretrained("tlp")
+		if err != nil {
+			return nil, err
+		}
+		opt.Policy = search.NewAnsorPolicy()
+		opt.Model = costmodel.NewTLP(cfg.Seed + 1)
+		opt.Adaptation = tuner.AdaptFineTune
+		opt.Pretrained = w
+	case MethodPrunerOffline:
+		w, err := needPretrained("pacm")
+		if err != nil {
+			return nil, err
+		}
+		opt.Policy = search.NewPrunerPolicy()
+		opt.Model = costmodel.NewPaCM(cfg.Seed + 1)
+		opt.Adaptation = tuner.AdaptFineTune
+		opt.Pretrained = w
+	case MethodMetaSchedule:
+		opt.Policy = search.NewMetaSchedulePolicy()
+		opt.Model = costmodel.NewTenSetMLP(cfg.Seed + 1)
+		opt.OnlineTrain = true
+	case MethodRoller:
+		opt.Policy = search.NewRollerPolicy()
+		opt.Model = costmodel.NewRandom(cfg.Seed + 1)
+		if cfg.Trials == 0 {
+			opt.Trials = 50 * len(tasks)
+		}
+	default:
+		return nil, fmt.Errorf("pruner: unknown method %q", cfg.Method)
+	}
+	return tuner.Tune(dev, tasks, opt), nil
+}
+
+// GenerateDataset builds a TenSet-style dataset for the named networks on
+// a device.
+func GenerateDataset(dev *Device, networks []string, schedulesPerTask int, seed int64) (*Dataset, error) {
+	tasks, err := dataset.NetworksTasks(networks)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Generate(dev, tasks, dataset.GenOptions{
+		SchedulesPerTask: schedulesPerTask,
+		Seed:             seed,
+	}), nil
+}
+
+// PretrainModel trains a fresh cost model of the given kind ("pacm",
+// "tensetmlp", "tlp") on a dataset and returns both the live model and a
+// weight snapshot usable as Config.Pretrained.
+func PretrainModel(kind string, ds *Dataset, epochs int, seed int64) (Model, *Pretrained, error) {
+	var m costmodel.Model
+	switch kind {
+	case "pacm":
+		m = costmodel.NewPaCM(seed)
+	case "tensetmlp":
+		m = costmodel.NewTenSetMLP(seed)
+	case "tlp":
+		m = costmodel.NewTLP(seed)
+	default:
+		return nil, nil, fmt.Errorf("pruner: unknown model kind %q", kind)
+	}
+	m.Fit(ds.Records(), costmodel.FitOptions{Epochs: epochs, Seed: seed})
+	return m, &Pretrained{Kind: kind, Weights: tuner.SnapshotParams(m)}, nil
+}
+
+// EvaluateTopK computes the paper's Top-k metric (Eq. 2) of a cost model
+// over a dataset: the ratio of the weighted-optimal latency to the
+// weighted best latency found within each task's k highest-scored
+// programs.
+func EvaluateTopK(m Model, ds *Dataset, k int) float64 {
+	return ds.TopK(k, func(s *dataset.TaskSet) []float64 {
+		schs := make([]*schedule.Schedule, len(s.Entries))
+		for i := range s.Entries {
+			schs[i] = s.Entries[i].Sched
+		}
+		return m.Predict(s.Task, schs)
+	})
+}
+
+// FrameworkLatency estimates a network's inference latency under an
+// off-the-shelf framework ("pytorch", "triton", "tensorrt", "cudalib").
+func FrameworkLatency(framework string, dev *Device, net *Network) (float64, error) {
+	fw, err := frameworkByName(framework)
+	if err != nil {
+		return 0, err
+	}
+	return vendorNetworkLatency(fw, dev, net), nil
+}
+
+// SimulatedClock summarises where a session's compilation time went.
+type SimulatedClock = simulator.Clock

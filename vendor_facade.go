@@ -1,0 +1,28 @@
+package pruner
+
+import (
+	"fmt"
+
+	"pruner/internal/vendorlib"
+	"pruner/internal/workloads"
+)
+
+// frameworkByName maps user-facing names to vendorlib frameworks.
+func frameworkByName(name string) (vendorlib.Framework, error) {
+	switch name {
+	case "pytorch":
+		return vendorlib.PyTorch, nil
+	case "triton":
+		return vendorlib.Triton, nil
+	case "tensorrt":
+		return vendorlib.TensorRT, nil
+	case "cudalib":
+		return vendorlib.CudaLib, nil
+	default:
+		return 0, fmt.Errorf("pruner: unknown framework %q", name)
+	}
+}
+
+func vendorNetworkLatency(fw vendorlib.Framework, dev *Device, net *workloads.Network) float64 {
+	return vendorlib.NetworkLatency(fw, dev, net)
+}
