@@ -1,0 +1,35 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# targets. The repo is stdlib-only — no dependencies to fetch.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-parallel clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel runtime's packages under the race detector (slow but the
+# strongest check that scoring/measurement fan-out stays data-race-free).
+race:
+	$(GO) test -race ./internal/tuner/... ./internal/search/... \
+		./internal/parallel/... ./internal/nn/... ./internal/experiments/...
+
+# Regenerate the scaled evaluation (every paper table/figure).
+bench:
+	$(GO) test -bench=. -benchtime=1x -timeout=120m .
+
+# Just the worker-count sweep for BENCH_*.json snapshots.
+bench-parallel:
+	$(GO) test -bench=BenchmarkTuneParallel -benchtime=1x .
+
+clean:
+	$(GO) clean
+	rm -rf .cache

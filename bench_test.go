@@ -10,7 +10,9 @@
 package pruner
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"pruner/internal/experiments"
@@ -117,6 +119,41 @@ func BenchmarkTable13_OfflineAblation(b *testing.B) { runExperiment(b, "table13"
 // BenchmarkFig16_AblationCurve reproduces Figure 16: ResNet-50 ablation
 // tuning curves on Titan V.
 func BenchmarkFig16_AblationCurve(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkTuneParallel sweeps the session worker count over one
+// fixed-seed tuning session, so BENCH_*.json snapshots capture the
+// parallel runtime's speedup curve alongside the paper tables. The
+// session is identical at every worker count (the determinism contract,
+// DESIGN.md §5); only wall-clock should move.
+func BenchmarkTuneParallel(b *testing.B) {
+	net, err := LoadNetwork("bert_tiny")
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{1, 2, 4, 8}
+	if n := runtime.NumCPU(); n > 8 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Tune(A100, net, Config{
+					Method:      MethodPruner,
+					Trials:      80,
+					MaxTasks:    2,
+					Seed:        7,
+					Parallelism: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Curve) == 0 {
+					b.Fatal("empty tuning curve")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkAblation_SAvsOracle quantifies the draft model's ranking gap to
 // the simulator ground truth (DESIGN.md §4): the sum-based Eq. 1 against

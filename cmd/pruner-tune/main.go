@@ -1,28 +1,33 @@
-// Command pruner-tune runs one end-to-end tuning session and prints the
-// tuning curve and per-task results as JSON lines.
+// Command pruner-tune runs end-to-end tuning sessions and prints each
+// tuning curve and per-task result as JSON lines.
 //
 // Usage:
 //
 //	pruner-tune -net resnet50 -device a100 -method moa-pruner -trials 400
+//	pruner-tune -net resnet50,vit,bert_tiny -trials 200   # tuned concurrently
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pruner"
+	"pruner/internal/parallel"
 )
 
 func main() {
 	var (
-		netName = flag.String("net", "resnet50", "workload (see -nets)")
+		netName = flag.String("net", "resnet50", "workload, or comma-separated workloads tuned concurrently (see -nets)")
 		devName = flag.String("device", "a100", "device: a100|titanv|orin|k80|t4")
 		method  = flag.String("method", "pruner", "tuning method (pruner|moa-pruner|ansor|metaschedule|roller|...)")
 		trials  = flag.Int("trials", 400, "measurement trials")
 		seed    = flag.Int64("seed", 1, "random seed")
 		maxTask = flag.Int("max-tasks", 0, "tune only the top-N subgraphs (0 = all)")
+		par     = flag.Int("parallelism", 0, "workers per session (0 = all CPUs, 1 = serial); results are seed-stable at any setting")
 		nets    = flag.Bool("nets", false, "list workloads")
 		pre     = flag.Int("pretrain", 0, "pretrain PaCM on a K80 dataset with N schedules/task first (enables moa-pruner)")
 	)
@@ -36,14 +41,35 @@ func main() {
 	}
 	dev, err := pruner.DeviceByName(*devName)
 	fatalIf(err)
-	net, err := pruner.LoadNetwork(*netName)
-	fatalIf(err)
+	var names []string
+	for _, name := range strings.Split(*netName, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fatalIf(fmt.Errorf("-net needs at least one workload (see -nets)"))
+	}
+	networks := make([]*pruner.Network, len(names))
+	for i, name := range names {
+		networks[i], err = pruner.LoadNetwork(name)
+		fatalIf(err)
+	}
 
+	// The flag is a total budget: concurrent networks split it so the
+	// fan-out times per-session workers stays at -parallelism, not a
+	// multiple of it.
+	total := parallel.New(*par).Workers()
+	perSession := total / len(networks)
+	if perSession < 1 {
+		perSession = 1
+	}
 	cfg := pruner.Config{
-		Method:   pruner.Method(*method),
-		Trials:   *trials,
-		Seed:     *seed,
-		MaxTasks: *maxTask,
+		Method:      pruner.Method(*method),
+		Trials:      *trials,
+		Seed:        *seed,
+		MaxTasks:    *maxTask,
+		Parallelism: perSession,
 	}
 	if *pre > 0 {
 		fmt.Fprintln(os.Stderr, "pretraining PaCM on K80 dataset...")
@@ -54,19 +80,45 @@ func main() {
 		cfg.Pretrained = pretrained
 	}
 
-	res, err := pruner.Tune(dev, net, cfg)
-	fatalIf(err)
-
-	enc := json.NewEncoder(os.Stdout)
-	for _, p := range res.Curve {
-		_ = enc.Encode(map[string]any{
-			"round": p.Round, "trials": p.Trials,
-			"sim_seconds": p.SimSeconds, "workload_ms": p.WorkloadLat * 1e3,
-		})
+	// Independent networks tune concurrently; each session's output is
+	// buffered and printed in input order so streams never interleave.
+	type session struct {
+		res         *pruner.Result
+		err         error
+		out, status bytes.Buffer
 	}
-	fmt.Fprintf(os.Stderr, "final workload latency: %.4f ms\n", res.FinalLatency*1e3)
-	fmt.Fprintf(os.Stderr, "simulated compile time: %.1f min (exploration %.1f, training %.1f, measurement %.1f)\n",
-		res.Clock.Total()/60, res.Clock.Exploration/60, res.Clock.Training/60, res.Clock.Measurement/60)
+	sessions := parallel.Map(parallel.New(total), len(networks), func(i int) *session {
+		s := &session{}
+		s.res, s.err = pruner.Tune(dev, networks[i], cfg)
+		if s.err != nil {
+			return s
+		}
+		enc := json.NewEncoder(&s.out)
+		for _, p := range s.res.Curve {
+			line := map[string]any{
+				"round": p.Round, "trials": p.Trials,
+				"sim_seconds": p.SimSeconds, "workload_ms": p.WorkloadLat * 1e3,
+			}
+			if len(names) > 1 {
+				line["net"] = names[i]
+			}
+			_ = enc.Encode(line)
+		}
+		prefix := ""
+		if len(names) > 1 {
+			prefix = names[i] + ": "
+		}
+		fmt.Fprintf(&s.status, "%sfinal workload latency: %.4f ms\n", prefix, s.res.FinalLatency*1e3)
+		fmt.Fprintf(&s.status, "%ssimulated compile time: %.1f min (exploration %.1f, training %.1f, measurement %.1f)\n",
+			prefix, s.res.Clock.Total()/60, s.res.Clock.Exploration/60,
+			s.res.Clock.Training/60, s.res.Clock.Measurement/60)
+		return s
+	})
+	for _, s := range sessions {
+		fatalIf(s.err)
+		os.Stdout.Write(s.out.Bytes())
+		os.Stderr.Write(s.status.Bytes())
+	}
 }
 
 func fatalIf(err error) {

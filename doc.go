@@ -19,6 +19,14 @@
 //	})
 //	fmt.Printf("latency: %.3f ms\n", res.FinalLatency*1e3)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced table and figure.
+// Sessions run on a worker pool sized by Config.Parallelism (default:
+// all CPUs). Candidate drafting, cost-model inference and simulated
+// measurement fan out across the pool while every random draw stays on
+// deterministic per-task streams, so a fixed Config.Seed produces a
+// bitwise-identical Result at any worker count — Parallelism: 1 is only
+// ever slower, never different.
+//
+// See DESIGN.md for the system inventory and the simulator-substitution
+// rationale, and EXPERIMENTS.md for the experiment map and the
+// paper-vs-measured record.
 package pruner

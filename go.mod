@@ -1,0 +1,3 @@
+module pruner
+
+go 1.24

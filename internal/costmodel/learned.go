@@ -2,12 +2,11 @@ package costmodel
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"pruner/internal/features"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 )
 
@@ -20,6 +19,7 @@ type TenSetMLP struct {
 	head  *nn.MLP
 	adam  *nn.Adam
 	seed  int64
+	pool  *parallel.Pool
 }
 
 // NewTenSetMLP builds the model with the given init seed.
@@ -45,6 +45,9 @@ func (m *TenSetMLP) Params() []*nn.Tensor {
 // Costs implements Model.
 func (m *TenSetMLP) Costs() Costs { return Costs{FeatureX: 1, InferX: 1, TrainX: 1} }
 
+// SetPool implements PoolUser.
+func (m *TenSetMLP) SetPool(p *parallel.Pool) { m.pool = p }
+
 func (m *TenSetMLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	rows := nn.FromRows(features.Statement(lw))
 	emb := nn.ReLU(m.embed.Forward(rows))
@@ -61,7 +64,7 @@ func (m *TenSetMLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 
 // Predict implements Model.
 func (m *TenSetMLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictParallel(t, schs, m.forwardOne)
+	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
 }
 
 // Fit implements Model.
@@ -84,6 +87,7 @@ type PaCM struct {
 	head      *nn.MLP
 	adam      *nn.Adam
 	seed      int64
+	pool      *parallel.Pool
 }
 
 const (
@@ -149,6 +153,9 @@ func (m *PaCM) Params() []*nn.Tensor {
 // TLP.
 func (m *PaCM) Costs() Costs { return Costs{FeatureX: 1.1, InferX: 1.2, TrainX: 1.6} }
 
+// SetPool implements PoolUser.
+func (m *PaCM) SetPool(p *parallel.Pool) { m.pool = p }
+
 func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	var parts *nn.Tensor
 	if m.UseStatement {
@@ -179,7 +186,7 @@ func (m *PaCM) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 
 // Predict implements Model.
 func (m *PaCM) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictParallel(t, schs, m.forwardOne)
+	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
 }
 
 // Fit implements Model.
@@ -197,6 +204,7 @@ type TLP struct {
 	head *nn.MLP
 	adam *nn.Adam
 	seed int64
+	pool *parallel.Pool
 }
 
 // NewTLP builds the model.
@@ -227,6 +235,9 @@ func (m *TLP) Params() []*nn.Tensor {
 // Costs implements Model: cheap features, heavy model.
 func (m *TLP) Costs() Costs { return Costs{FeatureX: 0.35, InferX: 3.5, TrainX: 8} }
 
+// SetPool implements PoolUser.
+func (m *TLP) SetPool(p *parallel.Pool) { m.pool = p }
+
 func (m *TLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	tokens := nn.FromRows(features.Primitives(lw))
 	x := m.proj.Forward(tokens)
@@ -244,7 +255,7 @@ func (m *TLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 
 // Predict implements Model.
 func (m *TLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictParallel(t, schs, m.forwardOne)
+	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
 }
 
 // Fit implements Model.
@@ -252,54 +263,28 @@ func (m *TLP) Fit(recs []Record, opt FitOptions) FitReport {
 	return rankFit(recs, opt, m.adam, m.forward, m.seed)
 }
 
-// predictNoGrad evaluates a forward closure in inference mode and copies
-// the scores out.
-func predictNoGrad(forward func() *nn.Tensor, n int) []float64 {
-	var scores *nn.Tensor
-	nn.NoGrad(func() { scores = forward() })
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = scores.At(i, 0)
-	}
-	return out
+// PoolUser is implemented by models whose batched inference can run on a
+// caller-provided worker pool. The tuner injects its session pool so one
+// Parallelism knob governs every layer of a session.
+type PoolUser interface {
+	SetPool(p *parallel.Pool)
 }
 
-// predictParallel scores candidates with a per-candidate forward, sharded
-// across CPUs inside one NoGrad region. The models' forwards are pure
-// functions of their (frozen) weights, so concurrent evaluation is safe.
-func predictParallel(t *ir.Task, schs []*schedule.Schedule, one func(*schedule.Lowered) *nn.Tensor) []float64 {
+// predictOn scores candidates with a per-candidate forward, fanned over
+// the pool (or the process-wide default when no session pool was
+// injected). The model's parameters are frozen for the duration — scoped
+// inference mode, so a concurrently-training sibling session is not
+// affected. The forwards are pure functions of the frozen weights and
+// each index writes only its own slot, so the scores are identical at any
+// worker count.
+func predictOn(pool *parallel.Pool, params []*nn.Tensor, t *ir.Task, schs []*schedule.Schedule, one func(*schedule.Lowered) *nn.Tensor) []float64 {
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	defer nn.FreezeParams(params)()
 	out := make([]float64, len(schs))
-	nn.NoGrad(func() {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(schs) {
-			workers = len(schs)
-		}
-		if workers <= 1 {
-			for i, s := range schs {
-				out[i] = one(schedule.Lower(t, s)).At(0, 0)
-			}
-			return
-		}
-		var wg sync.WaitGroup
-		chunk := (len(schs) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(schs) {
-				hi = len(schs)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					out[i] = one(schedule.Lower(t, schs[i])).At(0, 0)
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+	pool.ForEach(len(schs), func(i int) {
+		out[i] = one(schedule.Lower(t, schs[i])).At(0, 0)
 	})
 	return out
 }

@@ -8,7 +8,7 @@ import (
 	"pruner/internal/analyzer"
 	"pruner/internal/device"
 	"pruner/internal/ir"
-	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/simulator"
 )
@@ -113,12 +113,17 @@ func TestPredictParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	schs := g.InitPopulation(rng, 40)
 	m := NewPaCM(9)
-	a := m.Predict(task, schs)
-	// Serial path through the batched forward.
-	b := predictNoGrad(func() *nn.Tensor { return m.forward(task, schs) }, len(schs))
+	a := m.Predict(task, schs) // default (machine-wide) pool
+	m.SetPool(parallel.New(1))
+	b := m.Predict(task, schs) // forced-serial session pool
+	// Cross-check both against the batched training-mode forward.
+	batched := m.forward(task, schs)
 	for i := range a {
-		if math.Abs(a[i]-b[i]) > 1e-12 {
+		if a[i] != b[i] {
 			t.Fatalf("parallel vs serial predictions differ at %d: %g vs %g", i, a[i], b[i])
+		}
+		if math.Abs(a[i]-batched.At(i, 0)) > 1e-12 {
+			t.Fatalf("pooled vs batched forward differ at %d: %g vs %g", i, a[i], batched.At(i, 0))
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"pruner/internal/costmodel"
 	"pruner/internal/device"
 	"pruner/internal/ir"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/simulator"
 	"pruner/internal/workloads"
@@ -45,6 +46,15 @@ type GenOptions struct {
 	// MutationFrac grows part of the samples by mutating earlier samples,
 	// giving the latency distribution TenSet-like structure.
 	MutationFrac float64
+	// Parallelism is the worker count for the measurement fan-out; <= 0
+	// selects runtime.NumCPU(). Schedule sampling and noise stay on one
+	// sequential stream, so the dataset is bitwise identical at any worker
+	// count (and to the historical serial generator).
+	Parallelism int
+	// Pool optionally shares a caller-owned worker budget (overriding
+	// Parallelism) so dataset generation inside a concurrent suite does
+	// not multiply the suite's concurrency.
+	Pool *parallel.Pool
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -58,10 +68,17 @@ func (o GenOptions) withDefaults() GenOptions {
 }
 
 // Generate measures opt.SchedulesPerTask schedules for every task on the
-// device.
+// device. Sampling walks one sequential stream (the dataset content is a
+// calibrated artefact — see the calibration tests — so it must not depend
+// on worker count or task fan-out); the per-schedule latency evaluations,
+// which dominate the cost, run on the worker pool.
 func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 	opt = opt.withDefaults()
 	sim := simulator.New(dev)
+	pool := opt.Pool
+	if pool == nil {
+		pool = parallel.New(opt.Parallelism)
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	ds := &Dataset{Device: dev.Name}
 	for _, t := range tasks {
@@ -77,7 +94,7 @@ func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 		// Only successfully built programs enter the dataset, as in TenSet:
 		// failed builds never produce a latency record.
 		set := &TaskSet{Task: t, Best: math.Inf(1)}
-		for i, r := range sim.Measure(t, schs, rng) {
+		for i, r := range sim.MeasurePool(t, schs, rng, pool) {
 			if !r.Valid {
 				continue
 			}

@@ -20,11 +20,15 @@ func Table1(cfg Config) error {
 	h.printf("Table 1: Ansor tuning cost (min, extrapolated to 2000 trials) on Orin [%s]\n", h.sc.tag)
 	h.printf("%-14s %12s %12s %12s\n", "Ansor", "Exploration", "Training", "Measurement")
 	f := h.fullTrialFactor()
-	for _, name := range []string{"resnet50", "detr", "inception_v3"} {
-		res := h.tune(device.Orin, h.tasksOf(mustNet(name)), "ansor", cfg.Seed)
+	nets := []string{"resnet50", "detr", "inception_v3"}
+	ss := make([]session, len(nets))
+	for i, name := range nets {
+		ss[i] = session{device.Orin, h.tasksOf(mustNet(name)), "ansor", cfg.Seed}
+	}
+	for i, res := range h.tuneAll(ss) {
 		c := res.Clock
 		h.printf("%-14s %12.1f %12.1f %12.1f\n",
-			name, minutes(c.Exploration*f), minutes(c.Training*f), minutes(c.Measurement*f))
+			nets[i], minutes(c.Exploration*f), minutes(c.Training*f), minutes(c.Measurement*f))
 	}
 	return nil
 }
@@ -43,9 +47,16 @@ func Fig6(cfg Config) error {
 	}
 	devs := []*device.Device{device.A100, device.Orin, device.TitanV}
 	h.printf("Figure 6: tuning curves (search time s -> workload latency ms) [%s]\n", h.sc.tag)
+	// Every (network, device, mode, method) series is an independent
+	// session: enumerate them, fan them out, print in enumeration order.
+	type combo struct {
+		netName, mode, method string
+		dev                   *device.Device
+	}
+	var combos []combo
+	var ss []session
 	for _, netName := range nets {
-		net := mustNet(netName)
-		tasks := h.tasksOf(net)
+		tasks := h.tasksOf(mustNet(netName))
 		for _, dev := range devs {
 			for _, mode := range []struct {
 				label   string
@@ -56,15 +67,19 @@ func Fig6(cfg Config) error {
 					continue
 				}
 				for _, m := range mode.methods {
-					res := h.tune(dev, tasks, m, cfg.Seed)
-					h.printf("%s %s %s %s:", netName, dev.Name, mode.label, m)
-					for _, p := range sampleCurve(res.Curve, 8) {
-						h.printf(" (%.0fs,%.3fms)", p.SimSeconds, p.WorkloadLat*1e3)
-					}
-					h.printf("\n")
+					combos = append(combos, combo{netName, mode.label, m, dev})
+					ss = append(ss, session{dev, tasks, m, cfg.Seed})
 				}
 			}
 		}
+	}
+	results := h.tuneAll(ss)
+	for i, c := range combos {
+		h.printf("%s %s %s %s:", c.netName, c.dev.Name, c.mode, c.method)
+		for _, p := range sampleCurve(results[i].Curve, 8) {
+			h.printf(" (%.0fs,%.3fms)", p.SimSeconds, p.WorkloadLat*1e3)
+		}
+		h.printf("\n")
 	}
 	return nil
 }
@@ -81,14 +96,18 @@ func Fig7(cfg Config) error {
 	h.printf("Figure 7: search-time speedup to reach baseline best (A100) [%s]\n", h.sc.tag)
 	h.printf("%-16s %10s %14s %12s %10s\n", "network", "vs-ansor", "vs-moa(ansor)", "vs-tensetmlp", "vs-tlp")
 	var sAnsor, sMoA, sTen, sTLP []float64
+	methods := []string{"ansor", "pruner", "moa-pruner", "tensetmlp", "tlp", "pruner-offline"}
+	var ss []session
 	for _, name := range nets {
 		tasks := h.tasksOf(mustNet(name))
-		ansor := h.tune(device.A100, tasks, "ansor", cfg.Seed)
-		pruner := h.tune(device.A100, tasks, "pruner", cfg.Seed)
-		moa := h.tune(device.A100, tasks, "moa-pruner", cfg.Seed)
-		tenset := h.tune(device.A100, tasks, "tensetmlp", cfg.Seed)
-		tlp := h.tune(device.A100, tasks, "tlp", cfg.Seed)
-		poff := h.tune(device.A100, tasks, "pruner-offline", cfg.Seed)
+		for _, m := range methods {
+			ss = append(ss, session{device.A100, tasks, m, cfg.Seed})
+		}
+	}
+	results := h.tuneAll(ss)
+	for ni, name := range nets {
+		row := results[ni*len(methods) : (ni+1)*len(methods)]
+		ansor, pruner, moa, tenset, tlp, poff := row[0], row[1], row[2], row[3], row[4], row[5]
 
 		spAnsor := speedupToReach(ansor.Clock.Total(), pruner, ansor.FinalLatency)
 		spMoA := speedupToReach(ansor.Clock.Total(), moa, ansor.FinalLatency)
@@ -383,10 +402,17 @@ func Fig11(cfg Config) error {
 	defer func() { h.sc.trials = saved }()
 	h.printf("Figure 11: single-operator normalized performance (A100) [%s]\n", h.sc.tag)
 	h.printf("%-6s %10s %10s %10s\n", "op", "pytorch", "ansor", "pruner")
+	ss := make([]session, 0, 2*len(ops))
+	for _, op := range ops {
+		ss = append(ss,
+			session{device.A100, []*ir.Task{op}, "ansor", cfg.Seed},
+			session{device.A100, []*ir.Task{op}, "pruner", cfg.Seed})
+	}
+	results := h.tuneAll(ss)
 	for i, op := range ops {
 		pt := vendorlib.TaskLatency(vendorlib.PyTorch, device.A100, op)
-		ansor := h.tune(device.A100, []*ir.Task{op}, "ansor", cfg.Seed).FinalLatency
-		pr := h.tune(device.A100, []*ir.Task{op}, "pruner", cfg.Seed).FinalLatency
+		ansor := results[2*i].FinalLatency
+		pr := results[2*i+1].FinalLatency
 		best := math.Min(pt, math.Min(ansor, pr))
 		h.printf("%-6s %10.3f %10.3f %10.3f\n", labels[i], best/pt, best/ansor, best/pr)
 	}
@@ -409,11 +435,18 @@ func Table7(cfg Config) error {
 	}
 	h.printf("\n")
 	totals := map[string][]float64{}
-	for _, m := range []string{"ansor", "pruner", "moa-pruner"} {
-		h.printf("%-12s", m)
+	methods := []string{"ansor", "pruner", "moa-pruner"}
+	var ss []session
+	for _, m := range methods {
 		for _, n := range nets {
-			res := h.tune(device.TitanV, h.tasksOf(mustNet(n)), m, cfg.Seed)
-			mins := minutes(res.Clock.Total() * f)
+			ss = append(ss, session{device.TitanV, h.tasksOf(mustNet(n)), m, cfg.Seed})
+		}
+	}
+	results := h.tuneAll(ss)
+	for mi, m := range methods {
+		h.printf("%-12s", m)
+		for ni := range nets {
+			mins := minutes(results[mi*len(nets)+ni].Clock.Total() * f)
 			totals[m] = append(totals[m], mins)
 			h.printf(" %12.1f", mins)
 		}

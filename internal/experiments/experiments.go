@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"pruner/internal/analyzer"
 	"pruner/internal/costmodel"
@@ -24,6 +25,7 @@ import (
 	"pruner/internal/device"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/search"
 	"pruner/internal/simulator"
@@ -39,6 +41,13 @@ type Config struct {
 	// CacheDir stores pretrained cost-model weights between runs
 	// (default ".cache").
 	CacheDir string
+	// Parallelism bounds the experiment's total concurrency; <= 0 selects
+	// runtime.NumCPU(). One shared pool serves the suite-level session
+	// fan-out, every session's internal scoring/measurement, and dataset
+	// generation, so the bound holds across layers instead of
+	// multiplying. Sessions are seeded independently, so reported rows
+	// are identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,15 +134,17 @@ func scaleOf(full bool) scale {
 	}
 }
 
-// harness carries per-run shared state (pretrained weights cache).
+// harness carries per-run shared state (pretrained weights cache) and the
+// suite worker pool used to fan independent tuning sessions out.
 type harness struct {
-	cfg Config
-	sc  scale
+	cfg  Config
+	sc   scale
+	pool *parallel.Pool
 }
 
 func newHarness(cfg Config) *harness {
 	cfg = cfg.withDefaults()
-	return &harness{cfg: cfg, sc: scaleOf(cfg.Full)}
+	return &harness{cfg: cfg, sc: scaleOf(cfg.Full), pool: parallel.New(cfg.Parallelism)}
 }
 
 func (h *harness) printf(format string, args ...any) {
@@ -174,8 +185,12 @@ func (h *harness) pretrainTasks() []*ir.Task {
 }
 
 // offlineDataset builds (once per process) the synthetic TenSet slice for
-// one device.
+// one device. Concurrent sessions may race to the same key, so the whole
+// get-or-generate runs under dsMu; the generation itself parallelizes
+// internally.
 func (h *harness) offlineDataset(dev *device.Device) *dataset.Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
 	key := fmt.Sprintf("ds-%s-%s", dev.Name, h.sc.tag)
 	if ds, ok := dsCache[key]; ok {
 		return ds
@@ -183,12 +198,16 @@ func (h *harness) offlineDataset(dev *device.Device) *dataset.Dataset {
 	ds := dataset.Generate(dev, h.pretrainTasks(), dataset.GenOptions{
 		SchedulesPerTask: h.sc.datasetPerTask,
 		Seed:             h.cfg.Seed + int64(len(key)),
+		Pool:             h.pool,
 	})
 	dsCache[key] = ds
 	return ds
 }
 
-var dsCache = map[string]*dataset.Dataset{}
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*dataset.Dataset{}
+)
 
 // newModel constructs a fresh cost model by kind.
 func newModel(kind string, seed int64) costmodel.Model {
@@ -209,8 +228,12 @@ func newModel(kind string, seed int64) costmodel.Model {
 }
 
 // pretrained returns cached cross-platform weights for (kind, device),
-// training and persisting them on first use.
+// training and persisting them on first use. preMu serializes concurrent
+// sessions training the same weights (it nests over dsMu via
+// offlineDataset; nothing acquires them in the reverse order).
 func (h *harness) pretrained(kind string, dev *device.Device) []*nn.Tensor {
+	preMu.Lock()
+	defer preMu.Unlock()
 	key := fmt.Sprintf("pre-%s-%s-%s", kind, dev.Name, h.sc.tag)
 	if w, ok := preCache[key]; ok {
 		return w
@@ -241,7 +264,10 @@ func (h *harness) pretrained(kind string, dev *device.Device) []*nn.Tensor {
 	return w
 }
 
-var preCache = map[string][]*nn.Tensor{}
+var (
+	preMu    sync.Mutex
+	preCache = map[string][]*nn.Tensor{}
+)
 
 // ---------------------------------------------------------------------------
 // Tuning method dispatch.
@@ -252,6 +278,7 @@ func (h *harness) tune(dev *device.Device, tasks []*ir.Task, method string, seed
 	opt := tuner.Options{
 		Trials: sc.trials,
 		Seed:   seed,
+		Pool:   h.pool, // one budget across the suite, not one per session
 		Fit:    costmodel.FitOptions{Epochs: sc.onlineEpochs, Seed: seed},
 	}
 	evo := search.EvoParams{Population: sc.evoPop, Generations: sc.evoGens, MutateProb: 0.85, CrossProb: 0.05}
@@ -370,6 +397,25 @@ func (h *harness) tune(dev *device.Device, tasks []*ir.Task, method string, seed
 		opt.Cost = cost
 	}
 	return tuner.Tune(dev, tasks, opt)
+}
+
+// session is one independent tuning job of a suite-level fan-out.
+type session struct {
+	dev    *device.Device
+	tasks  []*ir.Task
+	method string
+	seed   int64
+}
+
+// tuneAll runs independent sessions concurrently on the suite pool and
+// returns results in input order, so callers print rows deterministically
+// no matter how the sessions interleave. Each session is self-seeded; the
+// only state they share through h — the pretrained-weights and dataset
+// caches — is mutex-guarded.
+func (h *harness) tuneAll(ss []session) []*tuner.Result {
+	return parallel.Map(h.pool, len(ss), func(i int) *tuner.Result {
+		return h.tune(ss[i].dev, ss[i].tasks, ss[i].method, ss[i].seed)
+	})
 }
 
 // tasksOf selects the session's tasks for a network at the current scale.

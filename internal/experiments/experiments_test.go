@@ -4,6 +4,9 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/tuner"
 )
 
 func TestRegistryMatchesIDs(t *testing.T) {
@@ -97,5 +100,38 @@ func TestFig11OpsCoverPaperCases(t *testing.T) {
 	m2 := ops[1]
 	if m2.Meta["k"] < 2048 || m2.Meta["m"]*m2.Meta["n"] > 64*128 {
 		t.Fatal("M-2 is not a splitK-regime GEMM")
+	}
+}
+
+// TestTuneAllMatchesSerial checks the suite-level fan-out: running the
+// same session list on one worker and on four must print identical rows,
+// because sessions are independently seeded and results are returned in
+// input order.
+func TestTuneAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs tuning sessions")
+	}
+	run := func(parallelism int) []*tuner.Result {
+		h := newHarness(Config{Seed: 7, Out: io.Discard, Parallelism: parallelism})
+		h.sc.trials = 30
+		h.sc.maxTasks = 1
+		tasks := h.tasksOf(mustNet("bert_tiny"))
+		return h.tuneAll([]session{
+			{device.A100, tasks, "ansor", 7},
+			{device.A100, tasks, "pruner", 7},
+			{device.T4, tasks, "pruner", 8},
+			{device.A100, tasks, "roller", 9},
+		})
+	}
+	serial := run(1)
+	wide := run(4)
+	for i := range serial {
+		if serial[i].FinalLatency != wide[i].FinalLatency {
+			t.Fatalf("session %d final latency differs: %g vs %g",
+				i, serial[i].FinalLatency, wide[i].FinalLatency)
+		}
+		if serial[i].Clock != wide[i].Clock {
+			t.Fatalf("session %d clock differs: %+v vs %+v", i, serial[i].Clock, wide[i].Clock)
+		}
 	}
 }

@@ -4,16 +4,16 @@
 // the Adam optimiser, and the MSE and LambdaRank training losses.
 //
 // It exists because the paper's cost models are PyTorch modules and this
-// reproduction is stdlib-only. The stack is deliberately simple — single
-// goroutine, matrices not tensors — but exact: every operator has an
-// analytic backward verified by finite differences in the test suite.
+// reproduction is stdlib-only. The stack is deliberately simple —
+// matrices not tensors, training single-goroutine, inference concurrent
+// over frozen parameters (FreezeParams) — but exact: every operator has
+// an analytic backward verified by finite differences in the test suite.
 package nn
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync/atomic"
 )
 
 // Tensor is a dense row-major matrix participating in the autograd graph.
@@ -95,25 +95,28 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
-// noGradDepth gates graph construction; see NoGrad. It is an atomic
-// counter so concurrent inference goroutines may run inside one NoGrad
-// region; training (graph-building) remains single-goroutine by design.
-var noGradDepth atomic.Int32
-
-// NoGrad runs f with graph construction disabled — inference mode. Ops
-// executed inside produce plain value tensors with no backward closures.
-// Nesting is allowed; concurrent readers inside f are safe.
-func NoGrad(f func()) {
-	noGradDepth.Add(1)
-	defer noGradDepth.Add(-1)
-	f()
+// FreezeParams disables gradient-graph construction through the given
+// parameters — inference mode — and returns a restore function for their
+// previous state. It replaces the earlier process-global NoGrad counter:
+// that gate let one tuning session's inference silently suppress another
+// session's concurrent training forward, whereas freezing is scoped to
+// one model's own parameters. Toggle and restore must happen on the
+// serial path; concurrent readers between the two calls are safe.
+func FreezeParams(params []*Tensor) (restore func()) {
+	prev := make([]bool, len(params))
+	for i, p := range params {
+		prev[i] = p.requiresGrad
+		p.requiresGrad = false
+	}
+	return func() {
+		for i, p := range params {
+			p.requiresGrad = prev[i]
+		}
+	}
 }
 
 // needsGrad marks an op output as gradient-carrying when any parent is.
 func needsGrad(parents ...*Tensor) bool {
-	if noGradDepth.Load() > 0 {
-		return false
-	}
 	for _, p := range parents {
 		if p.requiresGrad {
 			return true

@@ -172,15 +172,20 @@ func TestSoftmaxRowsSumToOne(t *testing.T) {
 	}
 }
 
-func TestNoGradBuildsNoGraph(t *testing.T) {
+func TestFreezeParamsBuildsNoGraph(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	w := Param(rng, 2, 2)
 	x := New(1, 2)
 	x.Data[0], x.Data[1] = 1, 2
-	var y *Tensor
-	NoGrad(func() { y = MatMul(x, w) })
+	restore := FreezeParams([]*Tensor{w})
+	y := MatMul(x, w)
 	if y.requiresGrad || y.back != nil {
-		t.Fatal("NoGrad output should not carry graph state")
+		t.Fatal("frozen-parameter output should not carry graph state")
+	}
+	restore()
+	y = MatMul(x, w)
+	if !y.requiresGrad {
+		t.Fatal("restore must re-enable graph construction")
 	}
 }
 

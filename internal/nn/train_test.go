@@ -59,8 +59,9 @@ func TestLambdaRankImprovesOrdering(t *testing.T) {
 	m := NewMLP(rng, 4, 16, 1)
 	adam := NewAdam(m.Params(), 5e-3)
 	kendall := func() float64 {
-		var scores *Tensor
-		NoGrad(func() { scores = m.Forward(feats) })
+		restore := FreezeParams(m.Params())
+		scores := m.Forward(feats)
+		restore()
 		var agree, total float64
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
@@ -208,8 +209,9 @@ func TestDeterministicForward(t *testing.T) {
 		rng := rand.New(rand.NewSource(9))
 		m := NewMLP(rng, 3, 8, 2)
 		x := FromRows([][]float64{{0.5, -1, 2}, {1, 1, 1}})
-		var y *Tensor
-		NoGrad(func() { y = m.Forward(x) })
+		restore := FreezeParams(m.Params())
+		y := m.Forward(x)
+		restore()
 		out := make([]float64, len(y.Data))
 		copy(out, y.Data)
 		return out

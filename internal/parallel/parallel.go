@@ -1,0 +1,125 @@
+// Package parallel is the worker-pool execution runtime shared by the
+// tuning session's hot paths: draft scoring in search, batched cost-model
+// inference, simulated measurement, and the experiment/CLI fan-out over
+// independent tasks and networks.
+//
+// The pool only ever runs pure, index-addressed work (fn(i) writes out[i]);
+// all random draws stay on the serial caller path. That split is what makes
+// a session's Result bitwise identical at any worker count: parallelism
+// changes who computes a value, never which value is computed.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the concurrency of one tuning session, experiment suite or
+// CLI invocation. The bound is a real budget, not a per-call width: the
+// pool holds a shared semaphore, so when ForEach calls nest (a suite
+// fanning sessions out while each session fans its candidate scoring) the
+// helper goroutines of every level draw on the same allowance and total
+// concurrency stays at Workers instead of multiplying layer by layer.
+// The zero worker count and the nil pool both degrade to serial
+// execution, so call sites never need to special-case "no pool".
+type Pool struct {
+	workers int
+	// sem holds the shared helper-goroutine budget: Workers-1 slots,
+	// because every ForEach caller works unconditionally and only extra
+	// goroutines need a slot. Acquisition never blocks (a full budget
+	// just means the caller proceeds alone), so nesting cannot deadlock.
+	sem chan struct{}
+}
+
+// New builds a pool with the given worker budget; workers <= 0 selects
+// runtime.NumCPU().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers-1)}
+}
+
+// Workers reports the pool's concurrency budget; a nil pool is serial.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanned across the pool's
+// budget with dynamic load balancing (an atomic index, so uneven items —
+// e.g. schedules of very different sizes — do not leave workers idle).
+// It blocks until all items complete. fn must be safe to call concurrently
+// and should only write state owned by its index. A nil or single-worker
+// pool, or an exhausted budget, runs inline on the caller's goroutine.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if p == nil || p.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+spawn:
+	for k := 0; k < helpers; k++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.sem
+					wg.Done()
+				}()
+				run()
+			}()
+		default:
+			break spawn // budget in use elsewhere; the caller still works
+		}
+	}
+	run() // the caller is always a worker
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) on the pool and collects the results in index
+// order.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// defaultPool serves call sites that are not bound to a session pool
+// (e.g. facade-level model evaluation outside a tuning session).
+var defaultPool = New(0)
+
+// Default returns the process-wide pool sized to the machine.
+func Default() *Pool { return defaultPool }
+
+// SplitSeed derives an independent deterministic seed for a numbered
+// stream (per-task, per-worker, per-session). It is a splitmix64
+// finalizer over the golden-ratio sequence, so neighbouring stream
+// indices yield statistically unrelated generators — unlike the raw
+// seed^index trick, which correlates low bits across streams.
+func SplitSeed(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

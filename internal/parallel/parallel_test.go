@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		p := New(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		p.ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", got)
+	}
+	sum := 0
+	p.ForEach(10, func(i int) { sum += i }) // data race here would fail -race
+	if sum != 45 {
+		t.Fatalf("serial ForEach sum = %d, want 45", sum)
+	}
+}
+
+func TestForEachSmallerThanWorkers(t *testing.T) {
+	p := New(16)
+	var visits atomic.Int32
+	p.ForEach(3, func(int) { visits.Add(1) })
+	if visits.Load() != 3 {
+		t.Fatalf("visits = %d, want 3", visits.Load())
+	}
+	p.ForEach(0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	p := New(8)
+	out := Map(p, 100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestNewClampsWorkerCount(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must default to at least one worker")
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestSplitSeedStreamsDiffer(t *testing.T) {
+	seen := map[int64]int64{}
+	for stream := int64(0); stream < 1000; stream++ {
+		s := SplitSeed(42, stream)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d collide on seed %d", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different base seeds must derive different streams")
+	}
+	if SplitSeed(7, 3) != SplitSeed(7, 3) {
+		t.Fatal("SplitSeed must be deterministic")
+	}
+}
+
+// TestNestedForEachSharesBudget pins the anti-multiplication property:
+// when ForEach calls nest (suite fan-out over sessions that fan out
+// scoring), total concurrency stays within one pool budget rather than
+// multiplying per level.
+func TestNestedForEachSharesBudget(t *testing.T) {
+	const budget = 4
+	p := New(budget)
+	var cur, peak atomic.Int32
+	p.ForEach(8, func(int) {
+		p.ForEach(8, func(int) {
+			c := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if c <= pk || peak.CompareAndSwap(pk, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	})
+	if got := peak.Load(); got > budget {
+		t.Fatalf("peak concurrency %d exceeds the pool budget %d", got, budget)
+	}
+}

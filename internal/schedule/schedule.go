@@ -15,7 +15,8 @@ package schedule
 import (
 	"fmt"
 	"math/rand"
-	"strings"
+	"strconv"
+	"sync/atomic"
 
 	"pruner/internal/ir"
 )
@@ -57,29 +58,67 @@ type Schedule struct {
 	// TensorCore requests wmma execution (FP16 tiled tasks only). Inner
 	// spatial/reduction tiles must align to the device fragment size.
 	TensorCore bool
+
+	// fp caches Fingerprint. Schedules are immutable once the generator
+	// returns them; the cache is atomic because measurement workers may
+	// fingerprint concurrently. The profile showed fingerprinting inside
+	// sort comparators dominating the serial portion of a tuning round.
+	fp atomic.Pointer[string]
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The fingerprint cache is deliberately not
+// carried over: the genetic operators clone precisely in order to mutate.
 func (s *Schedule) Clone() *Schedule {
-	c := *s
+	c := &Schedule{
+		UnrollStep: s.UnrollStep,
+		VectorLen:  s.VectorLen,
+		UseShared:  s.UseShared,
+		TensorCore: s.TensorCore,
+	}
 	c.SpatialTiles = make([][NumSpatialLevels]int, len(s.SpatialTiles))
 	copy(c.SpatialTiles, s.SpatialTiles)
 	c.ReduceTiles = make([][NumReduceLevels]int, len(s.ReduceTiles))
 	copy(c.ReduceTiles, s.ReduceTiles)
-	return &c
+	return c
 }
 
 // Fingerprint is a canonical string identity for deduplication.
 func (s *Schedule) Fingerprint() string {
-	var sb strings.Builder
-	for _, t := range s.SpatialTiles {
-		fmt.Fprintf(&sb, "s%v", t)
+	if p := s.fp.Load(); p != nil {
+		return *p
 	}
-	for _, t := range s.ReduceTiles {
-		fmt.Fprintf(&sb, "r%v", t)
+	// Built with strconv rather than fmt (an order of magnitude cheaper),
+	// but byte-identical to the historical fmt-based format: the string
+	// also feeds the simulator's deterministic micro-jitter hash, so its
+	// exact bytes are part of the calibrated ground truth.
+	b := make([]byte, 0, 24*(len(s.SpatialTiles)+len(s.ReduceTiles))+32)
+	appendTile := func(prefix byte, tile []int) {
+		b = append(b, prefix, '[')
+		for i, v := range tile {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, ']')
 	}
-	fmt.Fprintf(&sb, "|u%d|v%d|sh%t|tc%t", s.UnrollStep, s.VectorLen, s.UseShared, s.TensorCore)
-	return sb.String()
+	for i := range s.SpatialTiles {
+		appendTile('s', s.SpatialTiles[i][:])
+	}
+	for i := range s.ReduceTiles {
+		appendTile('r', s.ReduceTiles[i][:])
+	}
+	b = append(b, "|u"...)
+	b = strconv.AppendInt(b, int64(s.UnrollStep), 10)
+	b = append(b, "|v"...)
+	b = strconv.AppendInt(b, int64(s.VectorLen), 10)
+	b = append(b, "|sh"...)
+	b = strconv.AppendBool(b, s.UseShared)
+	b = append(b, "|tc"...)
+	b = strconv.AppendBool(b, s.TensorCore)
+	str := string(b)
+	s.fp.Store(&str)
+	return str
 }
 
 // ThreadsPerBlock is the product of thread-level tile extents.

@@ -1,7 +1,9 @@
 package schedule
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -202,5 +204,47 @@ func TestMaxSharedWordsRespected(t *testing.T) {
 	// The clamp fallback can occasionally exceed; it must be rare.
 	if over > 10 {
 		t.Fatalf("%d/100 schedules exceed the shared-memory budget", over)
+	}
+}
+
+// TestFingerprintFormatStable pins Fingerprint to the historical
+// fmt-based format: the string feeds the simulator's micro-jitter hash,
+// so changing its bytes would silently re-roll the calibrated ground
+// truth.
+func TestFingerprintFormatStable(t *testing.T) {
+	task := ir.NewMatMul(64, 96, 128, ir.FP32, 0)
+	g := NewGenerator(task)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		s := g.Random(rng)
+		var sb strings.Builder
+		for _, tile := range s.SpatialTiles {
+			fmt.Fprintf(&sb, "s%v", tile)
+		}
+		for _, tile := range s.ReduceTiles {
+			fmt.Fprintf(&sb, "r%v", tile)
+		}
+		fmt.Fprintf(&sb, "|u%d|v%d|sh%t|tc%t", s.UnrollStep, s.VectorLen, s.UseShared, s.TensorCore)
+		if got := s.Fingerprint(); got != sb.String() {
+			t.Fatalf("fingerprint format drifted:\n got %s\nwant %s", got, sb.String())
+		}
+		if s.Fingerprint() != s.Fingerprint() {
+			t.Fatal("cached fingerprint unstable")
+		}
+	}
+	// Clones must not inherit the cache: the genetic operators mutate them.
+	s := g.Random(rng)
+	_ = s.Fingerprint()
+	c := g.Mutate(rng, s)
+	var sb strings.Builder
+	for _, tile := range c.SpatialTiles {
+		fmt.Fprintf(&sb, "s%v", tile)
+	}
+	for _, tile := range c.ReduceTiles {
+		fmt.Fprintf(&sb, "r%v", tile)
+	}
+	fmt.Fprintf(&sb, "|u%d|v%d|sh%t|tc%t", c.UnrollStep, c.VectorLen, c.UseShared, c.TensorCore)
+	if c.Fingerprint() != sb.String() {
+		t.Fatal("mutated clone fingerprint stale")
 	}
 }

@@ -42,14 +42,9 @@ func RunLSE(ctx *Context, p LSEParams) []*schedule.Schedule {
 	if p.SpecSize == 0 {
 		p = DefaultLSEParams()
 	}
-	scoreFn := func(schs []*schedule.Schedule) []float64 {
-		ctx.chargeDraft(len(schs))
-		out := make([]float64, len(schs))
-		for i, s := range schs {
-			out[i] = ctx.Draft.Score(schedule.Lower(ctx.Task, s))
-		}
-		return out
-	}
+	// Draft fitness runs on the session pool; breeding stays serial on the
+	// task-owned RNG.
+	scoreFn := ctx.scoreDraft
 
 	// S_x <- best measured ∪ RandomInitSch(theta_x)
 	pop := bestMeasured(ctx, p.Population/8)

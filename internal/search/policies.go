@@ -143,14 +143,16 @@ func (p *RollerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
 	if ctx.Draft == nil {
 		panic("search: RollerPolicy requires a draft analyzer")
 	}
-	var ranked []scored
+	// Screen the pool concurrently; alignment filtering and ranking stay
+	// on the serial path so the batch is order-stable.
 	pool := ctx.Gen.InitPopulation(ctx.RNG, p.CandidatePool)
-	ctx.chargeDraft(len(pool))
-	for _, s := range pool {
+	scores := ctx.scoreDraft(pool)
+	var ranked []scored
+	for i, s := range pool {
 		if !rollerAligned(s) {
 			continue
 		}
-		ranked = append(ranked, scored{sch: s, score: ctx.Draft.Score(schedule.Lower(ctx.Task, s))})
+		ranked = append(ranked, scored{sch: s, score: scores[i]})
 	}
 	ranked = topK(ranked, len(ranked))
 	return pickBatch(ctx, ranked, n, 0)

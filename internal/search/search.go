@@ -12,6 +12,7 @@ import (
 	"pruner/internal/analyzer"
 	"pruner/internal/costmodel"
 	"pruner/internal/ir"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/simulator"
 )
@@ -21,7 +22,13 @@ import (
 type Context struct {
 	Task *ir.Task
 	Gen  *schedule.Generator
-	RNG  *rand.Rand
+	// RNG is the task-owned random stream. Policies must draw from it only
+	// on their serial path (population breeding, ε-greedy picks) — never
+	// from pool workers.
+	RNG *rand.Rand
+	// Pool fans pure candidate scoring (draft evaluations, screening)
+	// across the session's workers; nil scores serially.
+	Pool *parallel.Pool
 	// Measured is the task's tuning history (latest last).
 	Measured []costmodel.Record
 	// MeasuredSet holds fingerprints of measured schedules for dedup.
@@ -51,6 +58,19 @@ func (c *Context) chargeDraft(n int) {
 		return
 	}
 	c.Clock.Exploration += float64(n) * c.Cost.DraftEval
+}
+
+// scoreDraft evaluates the Symbol-based Analyzer over a candidate set,
+// fanned across the session pool (the analyzer is a pure function of the
+// lowered program), and charges the batch to the simulated clock on the
+// serial path.
+func (c *Context) scoreDraft(schs []*schedule.Schedule) []float64 {
+	c.chargeDraft(len(schs))
+	out := make([]float64, len(schs))
+	c.Pool.ForEach(len(schs), func(i int) {
+		out[i] = c.Draft.Score(schedule.Lower(c.Task, schs[i]))
+	})
+	return out
 }
 
 // Policy proposes schedules to measure.

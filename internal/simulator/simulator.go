@@ -26,6 +26,7 @@ import (
 	"pruner/internal/device"
 	"pruner/internal/features"
 	"pruner/internal/ir"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 )
 
@@ -307,18 +308,33 @@ type Result struct {
 // measurement stage would on hardware. rng drives the measurement noise
 // only; the underlying true latency is deterministic.
 func (s *Simulator) Measure(t *ir.Task, schs []*schedule.Schedule, rng *rand.Rand) []Result {
+	return s.MeasurePool(t, schs, rng, nil)
+}
+
+// MeasurePool is Measure fanned over a worker pool (nil runs serially).
+// The pure latency-model evaluations run concurrently; the noise draws
+// stay on the caller's goroutine, one per *valid* build in index order —
+// exactly the sequence the serial implementation consumes — so a batch is
+// bitwise identical at any worker count and to the serial Measure.
+func (s *Simulator) MeasurePool(t *ir.Task, schs []*schedule.Schedule, rng *rand.Rand, pool *parallel.Pool) []Result {
 	out := make([]Result, len(schs))
-	for i, sch := range schs {
-		lat, err := s.Latency(t, sch)
+	pool.ForEach(len(schs), func(i int) {
+		lat, err := s.Latency(t, schs[i])
 		if err != nil {
 			out[i] = Result{Latency: math.Inf(1), Err: err}
+			return
+		}
+		out[i] = Result{Latency: lat, Valid: true}
+	})
+	for i := range out {
+		if !out[i].Valid {
 			continue
 		}
 		noise := 1 + s.cfg.MeasureNoise*rng.NormFloat64()
 		if noise < 0.5 {
 			noise = 0.5
 		}
-		out[i] = Result{Latency: lat * noise, Valid: true}
+		out[i].Latency *= noise
 	}
 	return out
 }

@@ -1,0 +1,91 @@
+package tuner
+
+import (
+	"testing"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/device"
+	"pruner/internal/search"
+)
+
+// tuneAt runs a fixed-seed Pruner session at the given worker count. The
+// model is rebuilt per call: Fit mutates it, so sharing one across runs
+// would leak state between the compared sessions.
+func tuneAt(parallelism int) *Result {
+	return Tune(device.T4, twoTasks(), Options{
+		Trials:      60,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       costmodel.NewPaCM(3),
+		OnlineTrain: true,
+		Seed:        9,
+		Parallelism: parallelism,
+	})
+}
+
+// TestTuneDeterministicAcrossParallelism is the parallel runtime's
+// contract: the same Seed yields a bitwise-identical Result whether the
+// session runs serially or on 8 workers, because every random draw comes
+// from a task-owned (or scheduler-owned) stream on the serial path and
+// workers evaluate only pure functions.
+func TestTuneDeterministicAcrossParallelism(t *testing.T) {
+	serial := tuneAt(1)
+	wide := tuneAt(8)
+
+	if len(serial.Curve) != len(wide.Curve) {
+		t.Fatalf("curve length differs: %d vs %d", len(serial.Curve), len(wide.Curve))
+	}
+	for i := range serial.Curve {
+		a, b := serial.Curve[i], wide.Curve[i]
+		if a != b {
+			t.Fatalf("curve[%d] differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if serial.FinalLatency != wide.FinalLatency {
+		t.Fatalf("final latency differs: %g vs %g", serial.FinalLatency, wide.FinalLatency)
+	}
+	if serial.Clock != wide.Clock {
+		t.Fatalf("simulated clock differs: %+v vs %+v", serial.Clock, wide.Clock)
+	}
+	if len(serial.Best) != len(wide.Best) {
+		t.Fatalf("best map size differs: %d vs %d", len(serial.Best), len(wide.Best))
+	}
+	for id, a := range serial.Best {
+		b, ok := wide.Best[id]
+		if !ok {
+			t.Fatalf("task %s missing from parallel result", id)
+		}
+		if a.Latency != b.Latency {
+			t.Fatalf("task %s best latency differs: %g vs %g", id, a.Latency, b.Latency)
+		}
+		if (a.Sched == nil) != (b.Sched == nil) {
+			t.Fatalf("task %s best schedule presence differs", id)
+		}
+		if a.Sched != nil && a.Sched.Fingerprint() != b.Sched.Fingerprint() {
+			t.Fatalf("task %s best schedule differs: %s vs %s",
+				id, a.Sched.Fingerprint(), b.Sched.Fingerprint())
+		}
+	}
+	if len(serial.Records) != len(wide.Records) {
+		t.Fatalf("record count differs: %d vs %d", len(serial.Records), len(wide.Records))
+	}
+	for i := range serial.Records {
+		a, b := serial.Records[i], wide.Records[i]
+		if a.Task.ID != b.Task.ID || a.Latency != b.Latency ||
+			a.Sched.Fingerprint() != b.Sched.Fingerprint() {
+			t.Fatalf("record %d differs: {%s %g} vs {%s %g}",
+				i, a.Task.ID, a.Latency, b.Task.ID, b.Latency)
+		}
+	}
+}
+
+// TestTuneDefaultParallelismMatchesSerial pins the default (NumCPU)
+// configuration to the same contract, since that is what the facade runs.
+func TestTuneDefaultParallelismMatchesSerial(t *testing.T) {
+	def := tuneAt(0) // <= 0 selects runtime.NumCPU()
+	serial := tuneAt(1)
+	if def.FinalLatency != serial.FinalLatency || def.Clock != serial.Clock {
+		t.Fatalf("default-parallelism session diverged: lat %g vs %g, clock %+v vs %+v",
+			def.FinalLatency, serial.FinalLatency, def.Clock, serial.Clock)
+	}
+}

@@ -10,6 +10,12 @@ import (
 // additional trials are predicted to reduce the weighted end-to-end
 // latency the most, mixing a backward-window improvement rate with a
 // power-law forward projection, plus ε-greedy exploration.
+//
+// The scheduler owns its random stream outright (a SplitSeed derivation of
+// the session seed): its ε-greedy draws must not share a *rand.Rand with
+// per-task exploration, both because rand.Rand is not goroutine-safe once
+// batches fan out and because sharing would make each task's draw sequence
+// depend on the scheduling history.
 type taskScheduler struct {
 	states []*taskState
 	rng    *rand.Rand

@@ -13,6 +13,7 @@ import (
 	"pruner/internal/device"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/search"
 	"pruner/internal/simulator"
@@ -58,6 +59,17 @@ type Options struct {
 	TensorCore bool
 	// Seed drives all randomness in the session.
 	Seed int64
+	// Parallelism is the session's worker count for candidate scoring and
+	// simulated measurement; <= 0 selects runtime.NumCPU(), 1 runs
+	// serially. Results are bitwise identical at any setting: every random
+	// draw comes from a deterministic per-task (or scheduler-owned) stream
+	// on the serial path, and workers only evaluate pure functions.
+	Parallelism int
+	// Pool optionally supplies a caller-owned worker budget shared with
+	// other concurrent sessions (suite fan-outs), overriding Parallelism;
+	// nil builds a session-private pool. Sharing keeps total concurrency
+	// at the pool's budget instead of multiplying per session.
+	Pool *parallel.Pool
 	// Sim overrides the simulator (tests); nil builds the default.
 	Sim *simulator.Simulator
 	// Cost overrides the simulated-clock constants; zero uses defaults.
@@ -120,6 +132,9 @@ type taskState struct {
 	trials      int
 	// bestHistory[r] is the best latency after this task's r-th round.
 	bestHistory []float64
+	// rng is the task-owned random stream (seed split by task index), so
+	// one task's draws never depend on how other tasks interleave.
+	rng *rand.Rand
 }
 
 // CurvePoint is one sample of the tuning curve.
@@ -159,10 +174,20 @@ func (r *Result) WorkloadLatencyAt(target float64) float64 {
 	return math.Inf(1)
 }
 
+// schedulerStream is the scheduler's SplitSeed stream index; task streams
+// use the task index, so any negative constant keeps them disjoint.
+const schedulerStream = -2
+
 // Tune runs Algorithm 1 over the partitioned task set on one device.
 func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	opt = opt.withDefaults(dev)
-	rng := rand.New(rand.NewSource(opt.Seed))
+	pool := opt.Pool
+	if pool == nil {
+		pool = parallel.New(opt.Parallelism)
+	}
+	if pu, ok := opt.Model.(costmodel.PoolUser); ok {
+		pu.SetPool(pool)
+	}
 	draft := &analyzer.Analyzer{Dev: dev, Cfg: opt.DraftConfig}
 
 	states := make([]*taskState, len(tasks))
@@ -180,11 +205,13 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			gen:         gen,
 			measuredSet: map[string]bool{},
 			best:        math.Inf(1),
+			rng:         rand.New(rand.NewSource(parallel.SplitSeed(opt.Seed, int64(i)))),
 		}
 	}
 
 	res := &Result{Best: map[string]BestEntry{}}
-	sched := newTaskScheduler(states, rng)
+	sched := newTaskScheduler(states,
+		rand.New(rand.NewSource(parallel.SplitSeed(opt.Seed, schedulerStream))))
 
 	// MoA: the Siamese starts as a copy of the pretrained weights; plain
 	// fine-tuning loads them into the target once.
@@ -211,7 +238,8 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		ctx := &search.Context{
 			Task:        st.task,
 			Gen:         st.gen,
-			RNG:         rng,
+			RNG:         st.rng,
+			Pool:        pool,
 			Measured:    st.records,
 			MeasuredSet: st.measuredSet,
 			Model:       opt.Model,
@@ -224,7 +252,7 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			continue
 		}
 
-		results := opt.Sim.Measure(st.task, batch, rng)
+		results := opt.Sim.MeasurePool(st.task, batch, st.rng, pool)
 		lats := make([]float64, len(results))
 		for i, r := range results {
 			lats[i] = r.Latency

@@ -109,16 +109,22 @@ type Config struct {
 	// MaxTasks optionally tunes only the top-N subgraphs by FLOPs share
 	// (scaled experiments); 0 tunes all.
 	MaxTasks int
+	// Parallelism is the session's worker count for candidate drafting,
+	// cost-model inference and simulated measurement; <= 0 (the default)
+	// selects runtime.NumCPU(), 1 runs serially. The same Seed produces a
+	// bitwise-identical Result at any setting.
+	Parallelism int
 }
 
 // Tune runs a full tuning session of the network on the device.
 func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 	tasks := net.Representative(cfg.MaxTasks)
 	opt := tuner.Options{
-		Trials:     cfg.Trials,
-		BatchSize:  cfg.BatchSize,
-		Seed:       cfg.Seed,
-		TensorCore: cfg.TensorCore,
+		Trials:      cfg.Trials,
+		BatchSize:   cfg.BatchSize,
+		Seed:        cfg.Seed,
+		TensorCore:  cfg.TensorCore,
+		Parallelism: cfg.Parallelism,
 	}
 	needPretrained := func(kind string) ([]*nn.Tensor, error) {
 		if cfg.Pretrained == nil {
