@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel clean
+.PHONY: all build vet test race serve serve-e2e bench bench-parallel clean
 
 all: vet build test
 
@@ -20,7 +20,16 @@ test:
 # strongest check that scoring/measurement fan-out stays data-race-free).
 race:
 	$(GO) test -race ./internal/tuner/... ./internal/search/... \
-		./internal/parallel/... ./internal/nn/... ./internal/experiments/...
+		./internal/parallel/... ./internal/nn/... ./internal/experiments/... \
+		./internal/store/... ./internal/server/...
+
+# Run the tuning daemon locally (see API.md for the endpoints).
+serve:
+	$(GO) run ./cmd/pruner-serve -addr :8149 -store pruner-store
+
+# The daemon's end-to-end suite (submit -> SSE -> cache hit) under -race.
+serve-e2e:
+	$(GO) test -race -v ./internal/server/... ./internal/store/...
 
 # Regenerate the scaled evaluation (every paper table/figure).
 bench:

@@ -1,0 +1,101 @@
+// Command pruner-serve is the tuning daemon: a persistent HTTP service
+// that tunes on demand, streams round-by-round progress over SSE, and
+// persists every measurement so repeat requests for an already-tuned
+// (device, network) are answered from the store without searching.
+//
+// Usage:
+//
+//	pruner-serve -addr :8149 -store pruner-store -parallelism 8 -workers 2
+//
+// Then (see API.md for the full reference):
+//
+//	curl -s localhost:8149/v1/jobs -d '{"device":"a100","network":"resnet50","trials":200}'
+//	curl -N localhost:8149/v1/jobs/j-000001/events
+//	curl -s 'localhost:8149/v1/best?device=a100&network=resnet50'
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight jobs stop at the next
+// round boundary, their partial measurements are persisted, and the
+// process exits once the workers drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pruner"
+	"pruner/internal/server"
+	"pruner/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8149", "listen address")
+		storeDir  = flag.String("store", "pruner-store", "record store directory")
+		par       = flag.Int("parallelism", 0, "total tuning worker budget shared by all jobs (0 = all CPUs)")
+		workers   = flag.Int("workers", 2, "jobs tuned concurrently (all drawing on -parallelism)")
+		queue     = flag.Int("queue", 16, "queued-job backlog bound; a full queue rejects with 503")
+		trials    = flag.Int("trials", 200, "default measurement budget for jobs that set none")
+		maxTrials = flag.Int("max-trials", 0, "reject jobs requesting more trials (0 = 10x -trials)")
+		fsync     = flag.Bool("fsync", false, "fsync the store after every append")
+		segBytes  = flag.Int64("max-segment-bytes", 0, "store segment rotation threshold (0 = 4MiB)")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*storeDir, store.Options{Sync: *fsync, MaxSegmentBytes: *segBytes})
+	fatalIf(err)
+	stats := st.Stats()
+	fmt.Fprintf(os.Stderr, "pruner-serve: store %s: %d records across %d devices (%d torn tail lines dropped)\n",
+		*storeDir, stats.Records, stats.Devices, stats.Dropped)
+
+	srv, err := server.New(server.Config{
+		Store:         st,
+		Pool:          pruner.NewPool(*par),
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		DefaultTrials: *trials,
+		MaxTrials:     *maxTrials,
+	})
+	fatalIf(err)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pruner-serve: listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pruner-serve: shutting down...")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatalIf(err)
+		}
+	}
+
+	// Cancel tuning sessions first (they stop at the next round and
+	// persist what they measured; SSE streams end when the daemon context
+	// dies), then drain HTTP connections and close the store.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pruner-serve: workers did not drain:", err)
+	}
+	httpSrv.Shutdown(shutdownCtx)
+	fatalIf(st.Close())
+	fmt.Fprintln(os.Stderr, "pruner-serve: bye")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pruner-serve:", err)
+		os.Exit(1)
+	}
+}

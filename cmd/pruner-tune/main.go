@@ -5,6 +5,8 @@
 //
 //	pruner-tune -net resnet50 -device a100 -method moa-pruner -trials 400
 //	pruner-tune -net resnet50,vit,bert_tiny -trials 200   # tuned concurrently
+//	pruner-tune -net resnet50 -log run1.jsonl             # persist records
+//	pruner-tune -net resnet50 -resume run1.jsonl          # warm-start from them
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"pruner"
 	"pruner/internal/parallel"
+	"pruner/internal/tuner"
 )
 
 func main() {
@@ -30,6 +33,8 @@ func main() {
 		par     = flag.Int("parallelism", 0, "workers per session (0 = all CPUs, 1 = serial); results are seed-stable at any setting")
 		nets    = flag.Bool("nets", false, "list workloads")
 		pre     = flag.Int("pretrain", 0, "pretrain PaCM on a K80 dataset with N schedules/task first (enables moa-pruner)")
+		logPath = flag.String("log", "", "append this run's measurement records to the file (JSON lines)")
+		resume  = flag.String("resume", "", "warm-start from a record log written by -log; already-measured schedules are not re-measured")
 	)
 	flag.Parse()
 
@@ -80,6 +85,14 @@ func main() {
 		cfg.Pretrained = pretrained
 	}
 
+	// A resume log is read once; each session decodes it against its own
+	// task set (records of other networks' tasks are skipped).
+	var resumeData []byte
+	if *resume != "" {
+		resumeData, err = os.ReadFile(*resume)
+		fatalIf(err)
+	}
+
 	// Independent networks tune concurrently; each session's output is
 	// buffered and printed in input order so streams never interleave.
 	type session struct {
@@ -89,6 +102,16 @@ func main() {
 	}
 	sessions := parallel.Map(parallel.New(total), len(networks), func(i int) *session {
 		s := &session{}
+		cfg := cfg
+		if resumeData != nil {
+			warm, err := tuner.ReadRecords(bytes.NewReader(resumeData),
+				networks[i].Representative(cfg.MaxTasks))
+			if err != nil {
+				s.err = fmt.Errorf("resume %s: %w", *resume, err)
+				return s
+			}
+			cfg.WarmStart = warm
+		}
 		s.res, s.err = pruner.Tune(dev, networks[i], cfg)
 		if s.err != nil {
 			return s
@@ -108,16 +131,50 @@ func main() {
 		if len(names) > 1 {
 			prefix = names[i] + ": "
 		}
+		if s.res.Warm > 0 {
+			fmt.Fprintf(&s.status, "%swarm-started from %d prior records\n", prefix, s.res.Warm)
+		}
 		fmt.Fprintf(&s.status, "%sfinal workload latency: %.4f ms\n", prefix, s.res.FinalLatency*1e3)
 		fmt.Fprintf(&s.status, "%ssimulated compile time: %.1f min (exploration %.1f, training %.1f, measurement %.1f)\n",
 			prefix, s.res.Clock.Total()/60, s.res.Clock.Exploration/60,
 			s.res.Clock.Training/60, s.res.Clock.Measurement/60)
 		return s
 	})
+	// A failed session must not discard the others' paid-for work: print
+	// and log every successful session first, then exit non-zero.
+	var firstErr error
 	for _, s := range sessions {
-		fatalIf(s.err)
+		if s.err != nil {
+			fmt.Fprintln(os.Stderr, "pruner-tune:", s.err)
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			continue
+		}
 		os.Stdout.Write(s.out.Bytes())
 		os.Stderr.Write(s.status.Bytes())
+	}
+
+	// Persist only the new measurements (the warm prefix already lives in
+	// the log this run resumed from), in input order, append-only so runs
+	// accumulate into one reusable history.
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		fatalIf(err)
+		logged := 0
+		for _, s := range sessions {
+			if s.err != nil {
+				continue
+			}
+			recs := s.res.Records[s.res.Warm:]
+			fatalIf(tuner.WriteRecords(f, recs))
+			logged += len(recs)
+		}
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "logged %d records to %s\n", logged, *logPath)
+	}
+	if firstErr != nil {
+		os.Exit(1)
 	}
 }
 

@@ -24,9 +24,17 @@
 // measurement fan out across the pool while every random draw stays on
 // deterministic per-task streams, so a fixed Config.Seed produces a
 // bitwise-identical Result at any worker count — Parallelism: 1 is only
-// ever slower, never different.
+// ever slower, never different. The same contract extends to sessions
+// seeded with Config.WarmStart records and observed via Config.Progress
+// or cancelled via Config.Ctx.
 //
-// See DESIGN.md for the system inventory and the simulator-substitution
-// rationale, and EXPERIMENTS.md for the experiment map and the
-// paper-vs-measured record.
+// Tuning-as-a-service: the cmd/pruner-serve daemon exposes tuning over
+// HTTP with SSE progress, persists every measurement in a durable store,
+// warm-starts new sessions from history, and answers repeat requests for
+// an already-tuned (device, network) from the store without searching.
+// See API.md for the endpoint reference.
+//
+// See DESIGN.md for the system inventory, the simulator-substitution
+// rationale and the store/daemon architecture (§6), and EXPERIMENTS.md
+// for the experiment map and the paper-vs-measured record.
 package pruner

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// Job states. A job moves queued -> running -> done/failed/canceled;
+// store-served jobs are born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobSpec is the request body of POST /v1/jobs.
+type JobSpec struct {
+	// Device and Network name a preset platform and workload.
+	Device  string `json:"device"`
+	Network string `json:"network"`
+	// Method is a pruner.Method name; empty selects "pruner".
+	Method string `json:"method,omitempty"`
+	// Trials / BatchSize / Seed / MaxTasks / TensorCore mirror
+	// pruner.Config; zero values take the library defaults (except
+	// Trials, which the server caps with its own default budget).
+	Trials     int   `json:"trials,omitempty"`
+	BatchSize  int   `json:"batch_size,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	MaxTasks   int   `json:"max_tasks,omitempty"`
+	TensorCore bool  `json:"tensorcore,omitempty"`
+	// Fresh skips the store's cache-hit answer and warm-start history,
+	// forcing a from-scratch search (ablations, store repair).
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// Event is one SSE frame of job progress. Type is one of "queued",
+// "started", "round", "done", "failed", "canceled".
+type Event struct {
+	Type string `json:"type"`
+	// Round fields (type "round"), mirroring tuner.ProgressEvent.
+	Round      int     `json:"round"`
+	Rounds     int     `json:"rounds,omitempty"`
+	Task       string  `json:"task,omitempty"`
+	Trials     int     `json:"trials,omitempty"`
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	WorkloadMS float64 `json:"workload_ms,omitempty"`
+	TaskBestMS float64 `json:"task_best_ms,omitempty"`
+	// WarmRecords on the "started" event is how much store history seeded
+	// the session.
+	WarmRecords int `json:"warm_records,omitempty"`
+	// Terminal fields.
+	Source          string `json:"source,omitempty"`
+	NewMeasurements int    `json:"new_measurements,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+// BestView is one task's best stored schedule, as served by /v1/best and
+// embedded in terminal job results.
+type BestView struct {
+	TaskID    string          `json:"task_id"`
+	TaskName  string          `json:"task_name"`
+	Weight    int             `json:"weight"`
+	LatencyUS float64         `json:"latency_us"`
+	Records   int             `json:"stored_records"`
+	Record    json.RawMessage `json:"record"`
+}
+
+// JobResult summarises a terminal job.
+type JobResult struct {
+	// Source is "tuned" for a fresh search, "store" when the request was
+	// answered from persisted history without searching.
+	Source string `json:"source"`
+	// FinalWorkloadMS is the weighted workload latency over task bests.
+	FinalWorkloadMS float64 `json:"final_workload_ms"`
+	// WarmRecords / NewMeasurements split the session's record log:
+	// history replayed from the store vs. measurements this job paid for.
+	WarmRecords     int `json:"warm_records"`
+	NewMeasurements int `json:"new_measurements"`
+	// Interrupted marks a canceled job's partial result.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// SimCompileSeconds is the session's simulated tuning cost.
+	SimCompileSeconds float64 `json:"sim_compile_seconds"`
+	// Curve is the round-by-round tuning curve (absent on store hits).
+	Curve []CurveView `json:"curve,omitempty"`
+	// Best lists the per-task best schedules after the job.
+	Best []BestView `json:"best,omitempty"`
+}
+
+// CurveView is one tuning-curve sample in API form.
+type CurveView struct {
+	Round      int     `json:"round"`
+	Trials     int     `json:"trials"`
+	SimSeconds float64 `json:"sim_seconds"`
+	WorkloadMS float64 `json:"workload_ms"`
+}
+
+// jobView is the job representation served by the status endpoints.
+type jobView struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Spec      JobSpec    `json:"spec"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	EventsURL string     `json:"events_url"`
+}
+
+// job is one tuning request's full lifecycle. The mutex guards state,
+// events and result; notify is closed and replaced on every change so SSE
+// readers can wait without polling.
+type job struct {
+	id   string
+	spec JobSpec
+
+	mu       sync.Mutex
+	state    string
+	events   []Event
+	notify   chan struct{}
+	result   *JobResult
+	errMsg   string
+	canceled bool // cancellation requested, possibly before run() started
+	cancel   context.CancelFunc
+}
+
+func newJob(id string, spec JobSpec) *job {
+	j := &job{id: id, spec: spec, state: StateQueued, notify: make(chan struct{})}
+	j.events = append(j.events, Event{Type: StateQueued})
+	return j
+}
+
+// publish appends an event (optionally moving the job to a new state) and
+// wakes all SSE subscribers.
+func (j *job) publish(state string, ev Event) {
+	j.mu.Lock()
+	if state != "" {
+		j.state = state
+	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state with its result and emits the
+// terminal event.
+func (j *job) finish(state string, res *JobResult, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	ev := Event{Type: state, Error: errMsg}
+	if res != nil {
+		ev.Source = res.Source
+		ev.NewMeasurements = res.NewMeasurements
+		ev.WorkloadMS = res.FinalWorkloadMS
+		ev.SimSeconds = res.SimCompileSeconds
+	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// terminal reports whether the state accepts no further events.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// snapshot returns the events from index i on, the channel that signals
+// the next change, and whether the job is terminal. SSE handlers loop:
+// drain, then wait on the channel.
+func (j *job) snapshot(i int) (evs []Event, changed <-chan struct{}, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		evs = append(evs, j.events[i:]...)
+	}
+	return evs, j.notify, terminal(j.state)
+}
+
+// setCancel installs the running session's CancelFunc; if cancellation
+// was already requested while the job sat in the queue, it fires at once.
+func (j *job) setCancel(c context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = c
+	fire := j.canceled
+	j.mu.Unlock()
+	if fire {
+		c()
+	}
+}
+
+// requestCancel marks the job canceled and cancels its session context if
+// one is running. A queued job is caught by run()'s cancelRequested check
+// before any tuning starts.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	j.canceled = true
+	c := j.cancel
+	j.mu.Unlock()
+	if c != nil {
+		c()
+	}
+}
+
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:        j.id,
+		State:     j.state,
+		Spec:      j.spec,
+		Error:     j.errMsg,
+		Result:    j.result,
+		EventsURL: "/v1/jobs/" + j.id + "/events",
+	}
+}

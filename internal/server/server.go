@@ -1,0 +1,539 @@
+// Package server is the tuning daemon's HTTP layer: tuning-as-a-service
+// over the pruner facade, backed by the persistent record store.
+//
+// API (JSON everywhere; see API.md for curl examples):
+//
+//	POST /v1/jobs            enqueue a tuning job (or answer it from the store)
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}       job status, curve and result
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET  /v1/jobs/{id}/events  SSE round-by-round progress (replay + live)
+//	GET  /v1/best            best stored schedules for (device, network)
+//	GET  /v1/healthz         liveness + queue/store statistics
+//
+// Concurrency model: a bounded queue feeds a fixed set of worker
+// goroutines, and every job tunes on ONE shared parallel.Pool — the
+// daemon's -parallelism flag is a real budget, so N concurrent jobs
+// contend for that budget instead of multiplying it (the pool's nested
+// semaphore makes the sum of all sessions' helpers stay within it).
+//
+// Store integration: before searching, a job warm-starts from the store's
+// history for its (device, task set); when the store already holds a
+// valid best for every task of the request, the job is answered from the
+// store with zero new measurements ("source": "store") — the repeat-query
+// path that makes tuning cost amortise across sessions. Every completed
+// job appends only its NEW measurements back to the store.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+
+	"pruner"
+	"pruner/internal/ir"
+	"pruner/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store persists and answers from tuning history. Required.
+	Store *store.Store
+	// Pool is the shared tuning budget all jobs draw on; nil sizes one to
+	// the machine.
+	Pool *pruner.Pool
+	// Workers is the number of jobs tuned concurrently (default 1).
+	Workers int
+	// QueueDepth bounds the backlog; a full queue rejects submissions
+	// with 503 (default 16).
+	QueueDepth int
+	// DefaultTrials is the measurement budget of jobs that do not set one
+	// (default 200). MaxTrials caps requested budgets (default 10x
+	// DefaultTrials).
+	DefaultTrials int
+	MaxTrials     int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool == nil {
+		c.Pool = pruner.NewPool(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTrials <= 0 {
+		c.DefaultTrials = 200
+	}
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 10 * c.DefaultTrials
+	}
+	return c
+}
+
+// Server is the daemon. Create with New, serve Handler(), stop with
+// Shutdown.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// New starts the worker goroutines and returns the server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *job, cfg.QueueDepth),
+		jobs:   map[string]*job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Shutdown stops accepting jobs, cancels running sessions (they stop at
+// the next round boundary and their partial measurements are persisted),
+// and waits for the workers up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.cancel()
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/best", s.handleBest)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// ms converts seconds to milliseconds for the API, mapping the tuner's
+// +Inf "no valid measurement yet" (and any other non-finite value, which
+// json.Marshal rejects outright) to the JSON-safe sentinel -1.
+func ms(seconds float64) float64 {
+	v := seconds * 1e3
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolve validates a spec against the registries, fills its defaults in
+// place, and returns the device, network and the job's task set. The spec
+// is fully normalised at submit time; afterwards it is immutable.
+func (s *Server) resolve(spec *JobSpec) (*pruner.Device, *pruner.Network, []*ir.Task, error) {
+	dev, err := pruner.DeviceByName(spec.Device)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := pruner.LoadNetwork(spec.Network)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if spec.Trials <= 0 {
+		spec.Trials = s.cfg.DefaultTrials
+	}
+	if spec.Trials > s.cfg.MaxTrials {
+		return nil, nil, nil, fmt.Errorf("trials %d exceeds the daemon cap %d", spec.Trials, s.cfg.MaxTrials)
+	}
+	// A negative batch would make the round count negative (an instant
+	// bogus "done"); a batch above the trials budget would measure the
+	// whole batch in one round, bypassing the trials cap. Zero takes the
+	// library default.
+	if spec.BatchSize < 0 || spec.BatchSize > spec.Trials {
+		return nil, nil, nil, fmt.Errorf("batch_size %d out of range [0, trials=%d]", spec.BatchSize, spec.Trials)
+	}
+	if spec.Method == "" {
+		spec.Method = string(pruner.MethodPruner)
+	}
+	switch pruner.Method(spec.Method) {
+	case pruner.MethodPruner, pruner.MethodAnsor, pruner.MethodMetaSchedule, pruner.MethodRoller:
+	default:
+		// Pretrained-weight methods need an offline bundle the API does
+		// not carry yet; reject up front instead of failing mid-queue.
+		return nil, nil, nil, fmt.Errorf("method %q is not servable (supported: pruner, ansor, metaschedule, roller)", spec.Method)
+	}
+	return dev, net, net.Representative(spec.MaxTasks), nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	_, _, tasks, err := s.resolve(&spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The cache-hit path: history already covers every task of this
+	// (device, network) at least as deeply as the requested budget —
+	// answer from the store, no search, no queue slot. Shallower
+	// history warm-starts a real search below instead.
+	if !spec.Fresh && s.cfg.Store.Covered(spec.Device, tasks, spec.Trials) {
+		j := s.register(spec)
+		j.finish(StateDone, s.storeResult(spec, tasks), "")
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+
+	j, err := s.enqueue(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// enqueue registers a job and places it on the bounded queue, atomically
+// with the shutdown check so a submission can never race the queue close.
+func (s *Server) enqueue(spec JobSpec) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		return nil, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j, nil
+}
+
+// register allocates an ID and tracks the job.
+func (s *Server) register(spec JobSpec) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return j
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]jobView, len(list))
+	for i, j := range list {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: full
+// replay of past events, then live rounds until the job is terminal.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	i := 0
+	for {
+		evs, changed, done := j.snapshot(i)
+		for _, ev := range evs {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+			i += len(evs)
+			continue // drain before deciding the stream is over
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := JobSpec{Device: q.Get("device"), Network: q.Get("network")}
+	fmt.Sscanf(q.Get("max_tasks"), "%d", &spec.MaxTasks)
+	_, _, tasks, err := s.resolve(&spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	best, workload, covered := s.bestViews(spec.Device, tasks)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"device":      spec.Device,
+		"network":     spec.Network,
+		"covered":     covered,
+		"tasks":       len(tasks),
+		"workload_ms": ms(workload),
+		"best":        best,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      map[bool]string{false: "ok", true: "shutting-down"}[closed],
+		"store":       s.cfg.Store.Stats(),
+		"jobs":        counts,
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.cfg.QueueDepth,
+		"parallelism": s.cfg.Pool.Workers(),
+	})
+}
+
+// bestViews assembles per-task best entries from the store; workload is
+// the weighted latency sum (seconds), covered whether every task has one.
+func (s *Server) bestViews(device string, tasks []*ir.Task) (views []BestView, workload float64, covered bool) {
+	ids := make([]string, len(tasks))
+	byID := make(map[string]*ir.Task, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+		byID[t.ID] = t
+	}
+	best := s.cfg.Store.BestForTasks(device, ids)
+	covered = len(best) == len(tasks)
+	for _, id := range ids {
+		b, ok := best[id]
+		if !ok {
+			continue
+		}
+		t := byID[id]
+		views = append(views, BestView{
+			TaskID:    id,
+			TaskName:  t.Name,
+			Weight:    t.Weight,
+			LatencyUS: b.LatencyUS,
+			Records:   b.Records,
+			Record:    b.Line,
+		})
+		workload += float64(t.Weight) * b.LatencyUS / 1e6
+	}
+	return views, workload, covered
+}
+
+// storeResult builds a terminal result for a store-answered job.
+func (s *Server) storeResult(spec JobSpec, tasks []*ir.Task) *JobResult {
+	best, workload, _ := s.bestViews(spec.Device, tasks)
+	return &JobResult{
+		Source:          "store",
+		FinalWorkloadMS: ms(workload),
+		Best:            best,
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one tuning job end to end.
+func (s *Server) run(j *job) {
+	if s.ctx.Err() != nil {
+		j.finish(StateCanceled, nil, "server shut down before the job started")
+		return
+	}
+	if j.cancelRequested() {
+		j.finish(StateCanceled, nil, "canceled while queued")
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	j.setCancel(cancel)
+
+	// The spec was normalised at submit time; work on a copy so nothing
+	// here races a concurrent view().
+	spec := j.spec
+	dev, net, tasks, err := s.resolve(&spec)
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		return
+	}
+
+	var warm []pruner.Record
+	if !spec.Fresh {
+		warm, err = s.cfg.Store.WarmStart(spec.Device, tasks)
+		if err != nil {
+			j.finish(StateFailed, nil, fmt.Sprintf("warm-start: %v", err))
+			return
+		}
+	}
+	j.publish(StateRunning, Event{Type: "started", Trials: spec.Trials, WarmRecords: len(warm)})
+
+	res, err := pruner.Tune(dev, net, pruner.Config{
+		Method:     pruner.Method(spec.Method),
+		Trials:     spec.Trials,
+		BatchSize:  spec.BatchSize,
+		Seed:       spec.Seed,
+		MaxTasks:   spec.MaxTasks,
+		TensorCore: spec.TensorCore,
+		Pool:       s.cfg.Pool,
+		Ctx:        ctx,
+		WarmStart:  warm,
+		Progress: func(ev pruner.ProgressEvent) {
+			j.publish("", Event{
+				Type:       "round",
+				Round:      ev.Round,
+				Rounds:     ev.Rounds,
+				Task:       ev.TaskName,
+				Trials:     ev.Trials,
+				SimSeconds: ev.SimSeconds,
+				WorkloadMS: ms(ev.WorkloadLat),
+				TaskBestMS: ms(ev.TaskBest),
+			})
+		},
+	})
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		return
+	}
+
+	// Persist only what this session measured; the warm prefix is already
+	// in the store.
+	fresh := res.Records[res.Warm:]
+	if err := s.cfg.Store.Append(spec.Device, fresh); err != nil {
+		j.finish(StateFailed, nil, fmt.Sprintf("persisting records: %v", err))
+		return
+	}
+
+	result := &JobResult{
+		Source:            "tuned",
+		FinalWorkloadMS:   ms(res.FinalLatency),
+		WarmRecords:       res.Warm,
+		NewMeasurements:   len(fresh),
+		Interrupted:       res.Interrupted,
+		SimCompileSeconds: res.Clock.Total(),
+	}
+	for _, p := range res.Curve {
+		result.Curve = append(result.Curve, CurveView{
+			Round: p.Round, Trials: p.Trials,
+			SimSeconds: p.SimSeconds, WorkloadMS: ms(p.WorkloadLat),
+		})
+	}
+	result.Best, _, _ = s.bestViews(spec.Device, tasks)
+
+	state := StateDone
+	if res.Interrupted {
+		state = StateCanceled
+	}
+	j.finish(state, result, "")
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/ir"
+	"pruner/internal/schedule"
+)
+
+// twoTasks returns distinct tasks plus a deterministic batch of records
+// for each (the last record of the first task is a failed build).
+func testRecords(t *testing.T, n int) ([]*ir.Task, []costmodel.Record) {
+	t.Helper()
+	a := ir.NewMatMul(128, 128, 128, ir.FP32, 1)
+	b := ir.NewConv2D(ir.Conv2DShape{
+		N: 1, H: 28, W: 28, CI: 64, CO: 64, KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}, ir.FP32, 0)
+	rng := rand.New(rand.NewSource(11))
+	var recs []costmodel.Record
+	for i := 0; i < n; i++ {
+		task := a
+		if i%2 == 1 {
+			task = b
+		}
+		lat := float64(i+1) * 1e-4
+		if i == 0 {
+			lat = math.Inf(1)
+		}
+		g := schedule.NewGenerator(task)
+		recs = append(recs, costmodel.Record{Task: task, Sched: g.Random(rng), Latency: lat})
+	}
+	return []*ir.Task{a, b}, recs
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tasks, recs := testRecords(t, 8)
+
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append("A100", recs); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Records != len(recs) || st.Devices != 1 || st.Dropped != 0 {
+		t.Fatalf("stats after reload: %+v", st)
+	}
+	warm, err := s.WarmStart("a100", tasks) // DeviceKey normalises case
+	if err != nil {
+		t.Fatalf("WarmStart: %v", err)
+	}
+	if len(warm) != len(recs) {
+		t.Fatalf("warm-start returned %d records, want %d", len(warm), len(recs))
+	}
+	// Order contract: tasks in argument order, append order within a task.
+	seen := map[string]int{}
+	lastTask := ""
+	for _, r := range warm {
+		if r.Task.ID != lastTask && seen[r.Task.ID] > 0 {
+			t.Fatalf("warm-start interleaves tasks")
+		}
+		lastTask = r.Task.ID
+		seen[r.Task.ID]++
+	}
+
+	best := s.BestForTasks("a100", []string{tasks[0].ID, tasks[1].ID})
+	if len(best) != 2 {
+		t.Fatalf("best for %d tasks, want 2", len(best))
+	}
+	// Task a's records are i=0 (failed), 2, 4, 6 -> best 3e-4 s = 300us.
+	if got := best[tasks[0].ID].LatencyUS; math.Abs(got-300) > 1e-6 {
+		t.Fatalf("task a best %gus, want 300us", got)
+	}
+	if !s.Covered("a100", tasks, len(recs)) {
+		t.Fatal("store should cover both tasks")
+	}
+	if s.Covered("k80", tasks, 1) {
+		t.Fatal("unknown device should not be covered")
+	}
+	// The depth floor: enough valid bests but too little history must not
+	// count as covered (the daemon would serve a shallow search forever).
+	if s.Covered("a100", tasks, len(recs)+1) {
+		t.Fatal("coverage must respect the minimum record floor")
+	}
+}
+
+// TestStoreCrashSafety is the torn-write test: truncating the active
+// segment mid-line loses only the torn record; every complete record
+// survives reload, and the shard keeps accepting appends afterwards.
+func TestStoreCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	tasks, recs := testRecords(t, 6)
+
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append("t4", recs); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "t4", "seg-*.jsonl"))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through the final line.
+	cut := len(data) - 17
+	if err := os.WriteFile(segs[0], data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.Records != len(recs)-1 {
+		t.Fatalf("reload kept %d records, want %d", st.Records, len(recs)-1)
+	}
+	if st.Dropped != 1 {
+		t.Fatalf("dropped %d tail lines, want 1", st.Dropped)
+	}
+	warm, err := s.WarmStart("t4", tasks)
+	if err != nil {
+		t.Fatalf("WarmStart after crash: %v", err)
+	}
+	if len(warm) != len(recs)-1 {
+		t.Fatalf("warm-start %d records, want %d", len(warm), len(recs)-1)
+	}
+
+	// The torn tail was truncated away: the next append must land on a
+	// record boundary and a further reload must see old + new records.
+	if err := s.Append("t4", recs[:2]); err != nil {
+		t.Fatalf("Append after crash: %v", err)
+	}
+	s.Close()
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	if got := s.Stats().Records; got != len(recs)+1 {
+		t.Fatalf("after post-crash append: %d records, want %d", got, len(recs)+1)
+	}
+}
+
+// A final line that still parses but lacks its newline is indistinguishable
+// from a longer torn line; it must be dropped too.
+func TestStoreDropsUnterminatedFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	_, recs := testRecords(t, 3)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append("orin", recs); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "orin", "seg-*.jsonl"))
+	data, _ := os.ReadFile(segs[0])
+	os.WriteFile(segs[0], data[:len(data)-1], 0o644) // drop just the trailing \n
+
+	s = mustOpen(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Records != len(recs)-1 || st.Dropped != 1 {
+		t.Fatalf("stats %+v, want %d records / 1 dropped", st, len(recs)-1)
+	}
+}
+
+func TestStoreRejectsMidSegmentGarbage(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a100")
+	os.MkdirAll(sub, 0o755)
+	body := "{garbage\n" + `{"task_id":"x","latency_us":10}` + "\n"
+	os.WriteFile(filepath.Join(sub, "seg-000001.jsonl"), []byte(body), 0o644)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-segment garbage should fail Open")
+	}
+}
+
+func TestStoreSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	tasks, recs := testRecords(t, 8)
+	s := mustOpen(t, dir, Options{MaxSegmentBytes: 256}) // force rotation
+	for i := 0; i < 4; i++ {
+		if err := s.Append("k80", recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "k80", "seg-*.jsonl"))
+	if len(segs) < 2 {
+		t.Fatalf("%d segments, want rotation to produce several", len(segs))
+	}
+	s = mustOpen(t, dir, Options{MaxSegmentBytes: 256})
+	defer s.Close()
+	if got := s.Stats().Records; got != 4*len(recs) {
+		t.Fatalf("reload across segments: %d records, want %d", got, 4*len(recs))
+	}
+	warm, err := s.WarmStart("k80", tasks)
+	if err != nil || len(warm) != 4*len(recs) {
+		t.Fatalf("warm-start across segments: %d records, err %v", len(warm), err)
+	}
+}
+
+func TestDeviceKey(t *testing.T) {
+	cases := map[string]string{
+		"A100": "a100", "Titan V": "titan-v", " Jetson  Orin ": "jetson-orin",
+		"t4": "t4", "__": "",
+	}
+	for in, want := range cases {
+		if got := DeviceKey(in); got != want {
+			t.Errorf("DeviceKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if strings.ContainsAny(DeviceKey("a/b\\c"), "/\\") {
+		t.Error("DeviceKey must strip path separators")
+	}
+}

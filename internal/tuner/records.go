@@ -31,8 +31,12 @@ type recordJSON struct {
 func WriteRecords(w io.Writer, recs []costmodel.Record) error {
 	enc := json.NewEncoder(w)
 	for _, r := range recs {
+		// Anything that is not a finite positive latency is a failed
+		// build and maps to the -1 sentinel. NaN and ±Inf must never
+		// reach the encoder: json.Marshal rejects them mid-stream,
+		// leaving a log with some lines written and the rest lost.
 		lat := r.Latency * 1e6
-		if math.IsInf(r.Latency, 1) {
+		if math.IsNaN(lat) || math.IsInf(lat, 0) || lat < 0 {
 			lat = -1
 		}
 		line := recordJSON{

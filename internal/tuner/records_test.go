@@ -60,6 +60,54 @@ func TestRecordsRoundtrip(t *testing.T) {
 	}
 }
 
+// TestRecordsRoundtripNonFinite is the property test for the failed-build
+// sentinel: any latency that is not finite and positive (+Inf, -Inf, NaN,
+// negative) must encode without error — json.Marshal rejects NaN/Inf, so
+// letting one through would abort the log mid-stream — and decode back as
+// the +Inf failure marker, while finite positive latencies round-trip
+// exactly (to the codec's microsecond scaling).
+func TestRecordsRoundtripNonFinite(t *testing.T) {
+	task := ir.NewMatMul(64, 64, 64, ir.FP32, 0)
+	gen := schedule.NewGenerator(task)
+	rng := rand.New(rand.NewSource(7))
+
+	latencies := []float64{
+		math.Inf(1), math.Inf(-1), math.NaN(), -1e-3, -math.SmallestNonzeroFloat64,
+	}
+	// Plus random finite positives across the plausible range.
+	for i := 0; i < 40; i++ {
+		latencies = append(latencies, math.Exp(rng.Float64()*20-14)) // ~1e-6s..4e2s
+	}
+	var recs []costmodel.Record
+	for _, lat := range latencies {
+		recs = append(recs, costmodel.Record{Task: task, Sched: gen.Random(rng), Latency: lat})
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatalf("WriteRecords: %v", err)
+	}
+	got, err := ReadRecords(&buf, []*ir.Task{task})
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d (a non-finite latency truncated the log)", len(got), len(recs))
+	}
+	for i, want := range latencies {
+		lat := got[i].Latency
+		if want > 0 && !math.IsInf(want, 1) && !math.IsNaN(want) {
+			if math.Abs(lat-want) > want*1e-12 {
+				t.Errorf("record %d: latency %g, want %g", i, lat, want)
+			}
+			continue
+		}
+		if !math.IsInf(lat, 1) {
+			t.Errorf("record %d: latency %v should decode as the +Inf failure sentinel, got %g", i, want, lat)
+		}
+	}
+}
+
 func TestReadRecordsSkipsUnknownTasks(t *testing.T) {
 	tasks, recs := sampleRecords(t)
 	var buf bytes.Buffer

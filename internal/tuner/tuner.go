@@ -5,6 +5,7 @@
 package tuner
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -76,6 +77,30 @@ type Options struct {
 	Cost simulator.CostParams
 	// DraftConfig tweaks the Symbol-based Analyzer (penalty ablations).
 	DraftConfig analyzer.Config
+	// Ctx optionally bounds the session: cancellation is observed between
+	// measurement rounds, the session stops cleanly and the partial Result
+	// (with Interrupted set) is still valid. nil never cancels.
+	// Cancellation never changes what an uncancelled prefix computes, so
+	// the determinism contract is unaffected.
+	Ctx context.Context
+	// Progress, when non-nil, is invoked on the session goroutine after
+	// every measurement round (serially, in round order). Callbacks must
+	// not retain the event's schedule pointers past the call if they
+	// mutate them (they never should); blocking callbacks slow tuning but
+	// cannot reorder it.
+	Progress func(ProgressEvent)
+	// WarmStart seeds the session with prior measurements (a record log or
+	// store history, the cross-session MoA story): each record lands in
+	// its task's measured set (so the policy never re-proposes it), its
+	// latency competes for the task best, and — when OnlineTrain is set —
+	// one initial Fit over the warm records primes the cost model before
+	// round 0. Records whose task is not part of this session are ignored.
+	// Warm records charge neither measurement time nor trials — those
+	// were paid for by an earlier session — though the priming fit
+	// itself charges training time like any online update. Identical
+	// WarmStart slices keep the session bitwise reproducible at any
+	// Parallelism.
+	WarmStart []costmodel.Record
 }
 
 func (o Options) withDefaults(dev *device.Device) Options {
@@ -137,6 +162,28 @@ type taskState struct {
 	rng *rand.Rand
 }
 
+// ProgressEvent is one round of session progress, delivered to
+// Options.Progress as it happens (the server's SSE feed and any other
+// live observer consume these).
+type ProgressEvent struct {
+	// Round / Rounds locate the event within the session.
+	Round  int
+	Rounds int
+	// TaskID / TaskName identify the subgraph tuned this round.
+	TaskID   string
+	TaskName string
+	// Batch is the number of measurements taken this round; Trials the
+	// session total so far (warm-start records excluded).
+	Batch  int
+	Trials int
+	// TaskBest is the task's best latency (s) after this round; +Inf
+	// until the task has a valid measurement.
+	TaskBest float64
+	// SimSeconds / WorkloadLat mirror the curve point appended this round.
+	SimSeconds  float64
+	WorkloadLat float64
+}
+
 // CurvePoint is one sample of the tuning curve.
 type CurvePoint struct {
 	Round       int
@@ -159,8 +206,17 @@ type Result struct {
 	Clock simulator.Clock
 	// FinalLatency is the workload latency (s) after the last round.
 	FinalLatency float64
-	// Records is the full measurement log (online dataset).
+	// Records is the full measurement log (online dataset). The first
+	// Warm entries are the accepted warm-start records; Records[Warm:]
+	// are the measurements this session actually took (what a caller
+	// should persist to avoid re-logging history).
 	Records []costmodel.Record
+	// Warm counts the leading warm-start records in Records.
+	Warm int
+	// Interrupted reports that Options.Ctx was cancelled before the
+	// measurement budget was spent; the Result covers the completed
+	// prefix of rounds.
+	Interrupted bool
 }
 
 // WorkloadLatencyAt returns the earliest simulated time the curve reaches
@@ -210,6 +266,41 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	}
 
 	res := &Result{Best: map[string]BestEntry{}}
+
+	// Warm-start: fold prior records into each task's state before any
+	// round runs. Dedup by schedule fingerprint so a record replayed from
+	// several logs seeds once; rebind the task pointer to the session's
+	// instance so downstream grouping (cost-model fits key on Task) sees
+	// one identity. The order of opt.WarmStart fully determines the
+	// seeded state, which keeps warm sessions deterministic.
+	var allRecords []costmodel.Record
+	stateByID := make(map[string]*taskState, len(states))
+	for _, st := range states {
+		stateByID[st.task.ID] = st
+	}
+	for _, r := range opt.WarmStart {
+		if r.Task == nil || r.Sched == nil {
+			continue
+		}
+		st, ok := stateByID[r.Task.ID]
+		if !ok {
+			continue // history covers more networks than this session
+		}
+		fp := r.Sched.Fingerprint()
+		if st.measuredSet[fp] {
+			continue
+		}
+		st.measuredSet[fp] = true
+		rec := costmodel.Record{Task: st.task, Sched: r.Sched, Latency: r.Latency}
+		st.records = append(st.records, rec)
+		allRecords = append(allRecords, rec)
+		if !math.IsInf(rec.Latency, 1) && !math.IsNaN(rec.Latency) && rec.Latency < st.best {
+			st.best = rec.Latency
+			st.bestSched = rec.Sched
+		}
+	}
+	res.Warm = len(allRecords)
+
 	sched := newTaskScheduler(states,
 		rand.New(rand.NewSource(parallel.SplitSeed(opt.Seed, schedulerStream))))
 
@@ -230,9 +321,36 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		nn.CopyParams(opt.Model.Params(), opt.Pretrained)
 	}
 
-	var allRecords []costmodel.Record
+	// trainOnline is Algorithm 1 line 13 (and the warm-start priming fit):
+	// MoA re-initialises the target from the Siamese before fitting and
+	// feeds the result back with momentum; other adaptations fit in place.
+	trainOnline := func() {
+		var report costmodel.FitReport
+		if opt.Adaptation == AdaptMoA {
+			nn.CopyParams(opt.Model.Params(), siamese)
+			report = opt.Model.Fit(allRecords, opt.Fit)
+			nn.MomentumUpdate(siamese, opt.Model.Params(), opt.Momentum)
+		} else {
+			report = opt.Model.Fit(allRecords, opt.Fit)
+		}
+		res.Clock.Training += float64(report.SampleVisits) * opt.Cost.TrainPerSample * opt.Model.Costs().TrainX
+	}
+	canTrain := opt.OnlineTrain && opt.Model.Params() != nil
+
+	// Warm history primes the cost model before the first round, so the
+	// verify stage starts from the transferred fit instead of random
+	// weights — the cross-session analogue of MoA's cross-platform
+	// adaptation.
+	if canTrain && len(allRecords) > 0 {
+		trainOnline()
+	}
+
 	rounds := (opt.Trials + opt.BatchSize - 1) / opt.BatchSize
 	for round := 0; round < rounds; round++ {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		st := sched.next(round)
 
 		ctx := &search.Context{
@@ -270,17 +388,8 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		st.bestHistory = append(st.bestHistory, st.best)
 
 		// Online cost-model update (Algorithm 1 line 13).
-		if opt.OnlineTrain && opt.Model.Params() != nil && (round+1)%opt.TrainEvery == 0 {
-			var report costmodel.FitReport
-			if opt.Adaptation == AdaptMoA {
-				// Target re-initialised from the Siamese each update.
-				nn.CopyParams(opt.Model.Params(), siamese)
-				report = opt.Model.Fit(allRecords, opt.Fit)
-				nn.MomentumUpdate(siamese, opt.Model.Params(), opt.Momentum)
-			} else {
-				report = opt.Model.Fit(allRecords, opt.Fit)
-			}
-			res.Clock.Training += float64(report.SampleVisits) * opt.Cost.TrainPerSample * opt.Model.Costs().TrainX
+		if canTrain && (round+1)%opt.TrainEvery == 0 {
+			trainOnline()
 		}
 
 		res.Curve = append(res.Curve, CurvePoint{
@@ -289,6 +398,19 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			SimSeconds:  res.Clock.Total(),
 			WorkloadLat: workloadLatency(states),
 		})
+		if opt.Progress != nil {
+			opt.Progress(ProgressEvent{
+				Round:       round,
+				Rounds:      rounds,
+				TaskID:      st.task.ID,
+				TaskName:    st.task.Name,
+				Batch:       len(batch),
+				Trials:      totalTrials(states),
+				TaskBest:    st.best,
+				SimSeconds:  res.Clock.Total(),
+				WorkloadLat: workloadLatency(states),
+			})
+		}
 	}
 
 	for _, st := range states {

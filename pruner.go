@@ -1,6 +1,7 @@
 package pruner
 
 import (
+	"context"
 	"fmt"
 
 	"pruner/internal/costmodel"
@@ -8,6 +9,7 @@ import (
 	"pruner/internal/device"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/search"
 	"pruner/internal/simulator"
@@ -36,7 +38,17 @@ type (
 	Dataset = dataset.Dataset
 	// Model is a cost model (learned or analytical).
 	Model = costmodel.Model
+	// ProgressEvent is one round of live session progress (Config.Progress).
+	ProgressEvent = tuner.ProgressEvent
+	// Pool is a shared worker budget; sessions handed the same Pool never
+	// exceed its concurrency in total (the tuning daemon relies on this).
+	Pool = parallel.Pool
 )
+
+// NewPool builds a worker pool with the given budget; workers <= 0 selects
+// runtime.NumCPU(). Pass it via Config.Pool to cap total concurrency
+// across concurrent sessions.
+func NewPool(workers int) *Pool { return parallel.New(workers) }
 
 // Preset devices of the paper's evaluation.
 var (
@@ -114,6 +126,23 @@ type Config struct {
 	// selects runtime.NumCPU(), 1 runs serially. The same Seed produces a
 	// bitwise-identical Result at any setting.
 	Parallelism int
+	// Pool optionally shares a caller-owned worker budget with other
+	// concurrent sessions, overriding Parallelism; the tuning daemon
+	// hands every job the same Pool so N jobs never exceed one budget.
+	Pool *Pool
+	// Ctx cancels the session between measurement rounds; the partial
+	// Result (Interrupted set) is still valid. nil never cancels.
+	Ctx context.Context
+	// Progress, when non-nil, receives one event per measurement round,
+	// serially and in order (the daemon's SSE feed).
+	Progress func(ProgressEvent)
+	// WarmStart seeds the session with prior records (a -resume log or
+	// store history): they enter each task's measured set and best, and
+	// prime the first cost-model fit, without charging trials or
+	// measurement time (the priming fit charges training time like any
+	// online update). Identical warm-start slices with the same Seed
+	// keep the session bitwise reproducible at any Parallelism.
+	WarmStart []Record
 }
 
 // Tune runs a full tuning session of the network on the device.
@@ -125,6 +154,10 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		Seed:        cfg.Seed,
 		TensorCore:  cfg.TensorCore,
 		Parallelism: cfg.Parallelism,
+		Pool:        cfg.Pool,
+		Ctx:         cfg.Ctx,
+		Progress:    cfg.Progress,
+		WarmStart:   cfg.WarmStart,
 	}
 	needPretrained := func(kind string) ([]*nn.Tensor, error) {
 		if cfg.Pretrained == nil {
