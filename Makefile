@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve serve-e2e bench bench-parallel clean
+.PHONY: all build vet test race serve serve-e2e bench bench-smoke bench-parallel clean
 
 all: vet build test
 
@@ -34,6 +34,12 @@ serve-e2e:
 # Regenerate the scaled evaluation (every paper table/figure).
 bench:
 	$(GO) test -bench=. -benchtime=1x -timeout=120m .
+
+# CI's benchmark smoke: every internal benchmark once (incl. the
+# verify-stage BenchmarkPredictBatched) plus a bounded root subset.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
+	$(GO) test -run='^$$' -bench='BenchmarkTuneParallel|BenchmarkAblation_SAvsOracle' -benchtime=1x -timeout=20m .
 
 # Just the worker-count sweep for BENCH_*.json snapshots.
 bench-parallel:

@@ -1,0 +1,205 @@
+package costmodel
+
+import (
+	"pruner/internal/features"
+	"pruner/internal/ir"
+	"pruner/internal/nn"
+	"pruner/internal/parallel"
+	"pruner/internal/schedule"
+)
+
+// The batched, no-tape inference engine behind every learned model's
+// Predict: candidates are lowered once (through the round's memo when the
+// tuner injected one), their feature rows concatenate into a few large
+// fused GEMMs per chunk, and per-candidate scores fall out of segmented
+// reductions. The engine is bitwise identical to the per-candidate
+// reference path (predictReference) — pinned by TestPredictBatchedMatchesReference
+// — so swapping it in changes verify-stage wall-clock only, never a score.
+
+// MemoUser is implemented by models whose Predict can reuse a
+// caller-provided lowering memo. The tuner injects a fresh memo each
+// measurement round, so verification shares lowered programs (and their
+// cached features) with draft scoring and the buildability pre-filter.
+type MemoUser interface {
+	SetMemo(m *schedule.Memo)
+}
+
+// batchChunk is the number of candidates fused into one engine dispatch.
+// Chunks are the unit fanned across the session pool; a fixed size keeps
+// the grouping — and therefore every intermediate tensor — independent of
+// the worker count. Each candidate's score depends only on its own rows,
+// so chunking cannot change results; 64 candidates amortize per-op
+// overhead while keeping chunk working sets cache-sized.
+const batchChunk = 64
+
+// batchForward scores one chunk of lowered candidates; implementations
+// are pure functions of frozen snapshots and safe for concurrent use.
+type batchForward func(lws []*schedule.Lowered) []float64
+
+// predictBatched is the engine driver: it freezes the model's parameters
+// for the duration, builds the frozen forward once (freeze runs after the
+// parameters are frozen, so snapshots see inference-mode weights), then
+// fans fixed-size candidate chunks across the pool.
+func predictBatched(pool *parallel.Pool, params []*nn.Tensor, memo *schedule.Memo, t *ir.Task, schs []*schedule.Schedule, freeze func() batchForward) []float64 {
+	if len(schs) == 0 {
+		return nil
+	}
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	defer nn.FreezeParams(params)()
+	fwd := freeze()
+	out := make([]float64, len(schs))
+	chunks := (len(schs) + batchChunk - 1) / batchChunk
+	pool.ForEach(chunks, func(c int) {
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > len(schs) {
+			hi = len(schs)
+		}
+		lws := make([]*schedule.Lowered, hi-lo)
+		for i := range lws {
+			lws[i] = memo.Lower(t, schs[lo+i])
+		}
+		copy(out[lo:hi], fwd(lws))
+	})
+	return out
+}
+
+// statementBatch concatenates every candidate's statement feature rows
+// (shared cache references, no copies) plus the per-candidate segment
+// lengths.
+func statementBatch(lws []*schedule.Lowered) ([][]float64, []int) {
+	lens := make([]int, len(lws))
+	rows := make([][]float64, 0, len(lws)*4)
+	for i, lw := range lws {
+		r := features.Statement(lw)
+		lens[i] = len(r)
+		rows = append(rows, r...)
+	}
+	return rows, lens
+}
+
+// scoresOut copies the (N x 1) score column into a plain slice.
+func scoresOut(scores *nn.Tensor) []float64 {
+	out := make([]float64, scores.R)
+	for i := range out {
+		out[i] = scores.At(i, 0)
+	}
+	return out
+}
+
+// tensetEngine is the frozen inference program of a TenSetMLP.
+type tensetEngine struct {
+	embed, head *nn.FrozenMLP
+}
+
+func (m *TenSetMLP) freeze() batchForward {
+	e := &tensetEngine{embed: m.embed.Freeze(), head: m.head.Freeze()}
+	return e.run
+}
+
+func (e *tensetEngine) run(lws []*schedule.Lowered) []float64 {
+	rows, lens := statementBatch(lws)
+	emb := e.embed.ForwardReLURows(rows)
+	return scoresOut(e.head.Forward(nn.SegmentSumRows(emb, lens)))
+}
+
+// pacmEngine is the frozen inference program of a PaCM, honouring the
+// model's branch ablation flags.
+type pacmEngine struct {
+	useStmt, useDf bool
+	stmt           *nn.FrozenMLP
+	proj           *nn.FrozenLinear
+	attn           *nn.FrozenAttention
+	head           *nn.FrozenMLP
+}
+
+func (m *PaCM) freeze() batchForward {
+	e := &pacmEngine{
+		useStmt: m.UseStatement,
+		useDf:   m.UseDataflow,
+		head:    m.head.Freeze(),
+	}
+	if m.UseStatement {
+		e.stmt = m.stmtEmbed.Freeze()
+	}
+	if m.UseDataflow {
+		e.proj = m.dfProj.Freeze()
+		e.attn = m.dfAttn.Freeze()
+	}
+	return e.run
+}
+
+func (e *pacmEngine) run(lws []*schedule.Lowered) []float64 {
+	var parts *nn.Tensor
+	if e.useStmt {
+		rows, lens := statementBatch(lws)
+		parts = nn.SegmentSumRows(e.stmt.ForwardReLURows(rows), lens)
+	}
+	if e.useDf {
+		lens := make([]int, len(lws))
+		rows := make([][]float64, 0, len(lws)*features.DataflowSeq)
+		for i, lw := range lws {
+			rows = append(rows, features.Dataflow(lw)...)
+			lens[i] = features.DataflowSeq
+		}
+		// Dataflow sequences are zero-padded to a fixed length, so a large
+		// share of rows across the chunk are identical; project distinct
+		// rows once and gather.
+		uniq, idx := nn.DedupRows(rows)
+		tokens := nn.Tanh(e.proj.ForwardRows(uniq))
+		ctx := nn.SegmentMeanRows(e.attn.ForwardSegmentsDedup(tokens, idx, lens), lens)
+		if parts == nil {
+			parts = ctx
+		} else {
+			parts = nn.ConcatCols(parts, ctx)
+		}
+	}
+	return scoresOut(e.head.Forward(parts))
+}
+
+// tlpEngine is the frozen inference program of a TLP.
+type tlpEngine struct {
+	proj *nn.FrozenLinear
+	attn *nn.FrozenAttention
+	head *nn.FrozenMLP
+}
+
+func (m *TLP) freeze() batchForward {
+	e := &tlpEngine{proj: m.proj.Freeze(), attn: m.attn.Freeze(), head: m.head.Freeze()}
+	return e.run
+}
+
+func (e *tlpEngine) run(lws []*schedule.Lowered) []float64 {
+	lens := make([]int, len(lws))
+	rows := make([][]float64, 0, len(lws)*features.PrimSeq)
+	for i, lw := range lws {
+		r := features.Primitives(lw)
+		rows = append(rows, r...)
+		lens[i] = len(r)
+	}
+	// TLP tokens are near-constant one-hots where only split factors vary
+	// (the model's documented low feature diversity) — the same token rows
+	// recur across the whole chunk, so the projection and the attention's
+	// Q/K/V run once per distinct row.
+	uniq, idx := nn.DedupRows(rows)
+	x := e.attn.ForwardSegmentsDedup(e.proj.ForwardRows(uniq), idx, lens)
+	return scoresOut(e.head.Forward(nn.SegmentMeanRows(x, lens)))
+}
+
+// predictReference is the per-candidate baseline the engine replaced: one
+// tape-free forward per schedule, fanned over the pool. It is retained as
+// the ground truth for the bitwise-equivalence tests and the
+// BenchmarkPredictBatched before/after comparison.
+func predictReference(pool *parallel.Pool, params []*nn.Tensor, t *ir.Task, schs []*schedule.Schedule, one func(*schedule.Lowered) *nn.Tensor) []float64 {
+	if pool == nil {
+		pool = parallel.Default()
+	}
+	defer nn.FreezeParams(params)()
+	out := make([]float64, len(schs))
+	pool.ForEach(len(schs), func(i int) {
+		out[i] = one(schedule.Lower(t, schs[i])).At(0, 0)
+	})
+	return out
+}

@@ -20,6 +20,7 @@ type TenSetMLP struct {
 	adam  *nn.Adam
 	seed  int64
 	pool  *parallel.Pool
+	memo  *schedule.Memo
 }
 
 // NewTenSetMLP builds the model with the given init seed.
@@ -48,6 +49,9 @@ func (m *TenSetMLP) Costs() Costs { return Costs{FeatureX: 1, InferX: 1, TrainX:
 // SetPool implements PoolUser.
 func (m *TenSetMLP) SetPool(p *parallel.Pool) { m.pool = p }
 
+// SetMemo implements MemoUser.
+func (m *TenSetMLP) SetMemo(mm *schedule.Memo) { m.memo = mm }
+
 func (m *TenSetMLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	rows := nn.FromRows(features.Statement(lw))
 	emb := nn.ReLU(m.embed.Forward(rows))
@@ -62,9 +66,11 @@ func (m *TenSetMLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 	return nn.ConcatRows(outs...)
 }
 
-// Predict implements Model.
+// Predict implements Model: candidates run through the batched no-tape
+// inference engine (batch.go), bitwise identical to the per-candidate
+// reference path.
 func (m *TenSetMLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
+	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
 // Fit implements Model.
@@ -88,6 +94,7 @@ type PaCM struct {
 	adam      *nn.Adam
 	seed      int64
 	pool      *parallel.Pool
+	memo      *schedule.Memo
 }
 
 const (
@@ -156,6 +163,9 @@ func (m *PaCM) Costs() Costs { return Costs{FeatureX: 1.1, InferX: 1.2, TrainX: 
 // SetPool implements PoolUser.
 func (m *PaCM) SetPool(p *parallel.Pool) { m.pool = p }
 
+// SetMemo implements MemoUser.
+func (m *PaCM) SetMemo(mm *schedule.Memo) { m.memo = mm }
+
 func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	var parts *nn.Tensor
 	if m.UseStatement {
@@ -184,9 +194,11 @@ func (m *PaCM) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 	return nn.ConcatRows(outs...)
 }
 
-// Predict implements Model.
+// Predict implements Model: candidates run through the batched no-tape
+// inference engine (batch.go), bitwise identical to the per-candidate
+// reference path.
 func (m *PaCM) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
+	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
 // Fit implements Model.
@@ -205,6 +217,7 @@ type TLP struct {
 	adam *nn.Adam
 	seed int64
 	pool *parallel.Pool
+	memo *schedule.Memo
 }
 
 // NewTLP builds the model.
@@ -238,6 +251,9 @@ func (m *TLP) Costs() Costs { return Costs{FeatureX: 0.35, InferX: 3.5, TrainX: 
 // SetPool implements PoolUser.
 func (m *TLP) SetPool(p *parallel.Pool) { m.pool = p }
 
+// SetMemo implements MemoUser.
+func (m *TLP) SetMemo(mm *schedule.Memo) { m.memo = mm }
+
 func (m *TLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	tokens := nn.FromRows(features.Primitives(lw))
 	x := m.proj.Forward(tokens)
@@ -253,9 +269,11 @@ func (m *TLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
 	return nn.ConcatRows(outs...)
 }
 
-// Predict implements Model.
+// Predict implements Model: candidates run through the batched no-tape
+// inference engine (batch.go), bitwise identical to the per-candidate
+// reference path.
 func (m *TLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictOn(m.pool, m.Params(), t, schs, m.forwardOne)
+	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
 // Fit implements Model.
@@ -268,23 +286,4 @@ func (m *TLP) Fit(recs []Record, opt FitOptions) FitReport {
 // Parallelism knob governs every layer of a session.
 type PoolUser interface {
 	SetPool(p *parallel.Pool)
-}
-
-// predictOn scores candidates with a per-candidate forward, fanned over
-// the pool (or the process-wide default when no session pool was
-// injected). The model's parameters are frozen for the duration — scoped
-// inference mode, so a concurrently-training sibling session is not
-// affected. The forwards are pure functions of the frozen weights and
-// each index writes only its own slot, so the scores are identical at any
-// worker count.
-func predictOn(pool *parallel.Pool, params []*nn.Tensor, t *ir.Task, schs []*schedule.Schedule, one func(*schedule.Lowered) *nn.Tensor) []float64 {
-	if pool == nil {
-		pool = parallel.Default()
-	}
-	defer nn.FreezeParams(params)()
-	out := make([]float64, len(schs))
-	pool.ForEach(len(schs), func(i int) {
-		out[i] = one(schedule.Lower(t, schs[i])).At(0, 0)
-	})
-	return out
 }

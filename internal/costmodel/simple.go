@@ -13,7 +13,8 @@ import (
 // negated Eq. 1 latency estimates. It is the draft model of the
 // Draft-then-Verify mechanism and the cheapest model in the suite.
 type SA struct {
-	A *analyzer.Analyzer
+	A    *analyzer.Analyzer
+	memo *schedule.Memo
 }
 
 // NewSA wraps an analyzer.
@@ -22,11 +23,14 @@ func NewSA(a *analyzer.Analyzer) *SA { return &SA{A: a} }
 // Name implements Model.
 func (s *SA) Name() string { return "sa" }
 
+// SetMemo implements MemoUser.
+func (s *SA) SetMemo(m *schedule.Memo) { s.memo = m }
+
 // Predict implements Model.
 func (s *SA) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
 	out := make([]float64, len(schs))
 	for i, sch := range schs {
-		out[i] = s.A.Score(schedule.Lower(t, sch))
+		out[i] = s.A.Score(s.memo.Lower(t, sch))
 	}
 	return out
 }

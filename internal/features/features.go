@@ -32,6 +32,17 @@ const (
 	PrimSeq = 24
 )
 
+// Feature-cache slots on schedule.Lowered, one per family. The public
+// extractors route through Lowered.FeatureRows, so a program shared via a
+// round's lowering memo is featurized at most once per family no matter
+// how many pipeline stages touch it. Returned matrices are shared:
+// callers must treat them as read-only.
+const (
+	slotStatement = iota
+	slotDataflow
+	slotPrimitives
+)
+
 // lg is a sign-safe log2(1+x) used for all count-valued features.
 func lg(x float64) float64 {
 	if x <= 0 {
@@ -42,8 +53,13 @@ func lg(x float64) float64 {
 
 // Statement returns one StmtDim-wide row per statement of the lowered
 // program. The leading entries carry real signal; the tail is zero padding
-// up to the Ansor-compatible width.
+// up to the Ansor-compatible width. The result is cached on lw and shared
+// between callers — read-only.
 func Statement(lw *schedule.Lowered) [][]float64 {
+	return lw.FeatureRows(slotStatement, statementRows)
+}
+
+func statementRows(lw *schedule.Lowered) [][]float64 {
 	rows := make([][]float64, 0, len(lw.Stmts))
 	ctx := contextFeatures(lw)
 	for i := range lw.Stmts {
@@ -134,8 +150,13 @@ func quantEff(x, unit float64) float64 {
 // Dataflow returns the PaCM temporal dataflow feature matrix: exactly
 // DataflowSeq rows of DataflowDim values. Rows beyond the program's data
 // movements — and all rows of non-tiled programs — are zero (the paper's
-// zero-padding for elementwise operators).
+// zero-padding for elementwise operators). The result is cached on lw and
+// shared between callers — read-only.
 func Dataflow(lw *schedule.Lowered) [][]float64 {
+	return lw.FeatureRows(slotDataflow, dataflowRows)
+}
+
+func dataflowRows(lw *schedule.Lowered) [][]float64 {
 	out := make([][]float64, DataflowSeq)
 	for i := range out {
 		out[i] = make([]float64, DataflowDim)
@@ -202,8 +223,13 @@ func FlatDataflow(lw *schedule.Lowered) []float64 {
 // tokens of PrimDim values. Token layout: [0..15] primitive-type and axis
 // one-hots (structural, near-constant across schedules of one task),
 // [16..] factor values. The sparsity of varying entries reproduces TLP's
-// low feature diversity.
+// low feature diversity. The result is cached on lw and shared between
+// callers — read-only.
 func Primitives(lw *schedule.Lowered) [][]float64 {
+	return lw.FeatureRows(slotPrimitives, primitiveRows)
+}
+
+func primitiveRows(lw *schedule.Lowered) [][]float64 {
 	s := lw.Sched
 	out := make([][]float64, PrimSeq)
 	for i := range out {

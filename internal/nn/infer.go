@@ -1,0 +1,542 @@
+// Inference engine: no-tape forward kernels for the verify-stage hot
+// path. A model freezes its layers into Frozen* snapshots once per
+// Predict call; the snapshots then run fused matmul-bias(-ReLU) kernels
+// over whole candidate batches. Every kernel accumulates each output
+// element in exactly the same order as the tape-based operators it
+// replaces — ascending over the contraction index — so frozen forwards
+// are bitwise identical to Module forwards under FreezeParams (the
+// property the cost-model equivalence tests pin). The kernels assume
+// finite weights: a zero activation then contributes an exact ±0.0 term,
+// which cannot perturb any partial sum, letting the inner loop run
+// branchless where the tape operator branches per term.
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RowsView returns a zero-copy view of rows [lo, hi) of x, sharing its
+// backing array. It is an inference-path helper: x must not carry
+// gradients (a view cannot propagate them), so it panics on a
+// gradient-carrying tensor.
+func RowsView(x *Tensor, lo, hi int) *Tensor {
+	if x.requiresGrad {
+		panic("nn: RowsView of a gradient-carrying tensor")
+	}
+	if lo < 0 || hi > x.R || lo >= hi {
+		panic(fmt.Sprintf("nn: RowsView [%d,%d) of %d rows", lo, hi, x.R))
+	}
+	return &Tensor{R: hi - lo, C: x.C, Data: x.Data[lo*x.C : hi*x.C]}
+}
+
+// matmulFused is the engine kernel: out = x @ w (+ bias) (then ReLU).
+// It keeps MatMul's outer-product loop order but blocks the contraction
+// index four wide, so each output element is loaded and stored once per
+// four terms instead of once per term, with four independent streams of
+// b-rows. Per element the terms still add in ascending k — the chained
+// v += form — so the result is bitwise identical to
+// [ReLU](AddBias)(MatMul(x, w)) for finite w. Blocks whose four
+// activations are all zero are skipped outright (feature rows carry long
+// zero tails), matching MatMul's per-term zero-skip.
+func matmulFused(x, w *Tensor, bias []float64, relu bool) *Tensor {
+	// Contract only over columns that are nonzero somewhere in the batch.
+	// Feature matrices carry long structurally-zero column runs (padding
+	// tails, unused one-hot slots); those columns contribute an exact zero
+	// to every output element, so dropping them reproduces MatMul's
+	// per-term zero-skip at dense-kernel cost.
+	return matmulFusedNz(x, w, bias, relu, nonzeroCols(x))
+}
+
+// matmulFusedDense is the kernel entry for activation matrices (post
+// projection or ReLU): no structurally-zero columns worth scanning for,
+// so it contracts over every column. Processing zero terms stays
+// bitwise-safe (finite weights), so the result is identical to
+// matmulFused on the same operands.
+func matmulFusedDense(x, w *Tensor, bias []float64, relu bool) *Tensor {
+	nz := make([]int, x.C)
+	for k := range nz {
+		nz[k] = k
+	}
+	return matmulFusedNz(x, w, bias, relu, nz)
+}
+
+func matmulFusedNz(x, w *Tensor, bias []float64, relu bool, nz []int) *Tensor {
+	if x.C != w.R {
+		panic(fmt.Sprintf("nn: matmulFused %dx%d @ %dx%d", x.R, x.C, w.R, w.C))
+	}
+	K, C := x.C, w.C
+	out := New(x.R, C)
+	i := 0
+	// Row pairs share each weight-row load and double the number of
+	// independent accumulator chains in flight.
+	for ; i+2 <= x.R; i += 2 {
+		a0Row := x.Data[i*K : i*K+K]
+		a1Row := x.Data[(i+1)*K : (i+1)*K+K]
+		o0 := out.Data[i*C : i*C+C]
+		o1 := out.Data[(i+1)*C : (i+1)*C+C]
+		n := 0
+		for ; n+4 <= len(nz); n += 4 {
+			k0, k1, k2, k3 := nz[n], nz[n+1], nz[n+2], nz[n+3]
+			p0, p1, p2, p3 := a0Row[k0], a0Row[k1], a0Row[k2], a0Row[k3]
+			q0, q1, q2, q3 := a1Row[k0], a1Row[k1], a1Row[k2], a1Row[k3]
+			if p0 == 0 && p1 == 0 && p2 == 0 && p3 == 0 &&
+				q0 == 0 && q1 == 0 && q2 == 0 && q3 == 0 {
+				continue
+			}
+			b0 := w.Data[k0*C : k0*C+C]
+			b1 := w.Data[k1*C : k1*C+C]
+			b2 := w.Data[k2*C : k2*C+C]
+			b3 := w.Data[k3*C : k3*C+C]
+			for j := 0; j < C; j++ {
+				bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+				v := o0[j]
+				v += p0 * bv0
+				v += p1 * bv1
+				v += p2 * bv2
+				v += p3 * bv3
+				o0[j] = v
+				u := o1[j]
+				u += q0 * bv0
+				u += q1 * bv1
+				u += q2 * bv2
+				u += q3 * bv3
+				o1[j] = u
+			}
+		}
+		for ; n < len(nz); n++ {
+			k := nz[n]
+			p, q := a0Row[k], a1Row[k]
+			if p == 0 && q == 0 {
+				continue
+			}
+			bRow := w.Data[k*C : k*C+C]
+			for j, bv := range bRow {
+				o0[j] += p * bv
+				o1[j] += q * bv
+			}
+		}
+		epilogue(o0, bias, relu)
+		epilogue(o1, bias, relu)
+	}
+	for ; i < x.R; i++ {
+		aRow := x.Data[i*K : i*K+K]
+		oRow := out.Data[i*C : i*C+C]
+		n := 0
+		for ; n+4 <= len(nz); n += 4 {
+			k0, k1, k2, k3 := nz[n], nz[n+1], nz[n+2], nz[n+3]
+			a0, a1, a2, a3 := aRow[k0], aRow[k1], aRow[k2], aRow[k3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := w.Data[k0*C : k0*C+C]
+			b1 := w.Data[k1*C : k1*C+C]
+			b2 := w.Data[k2*C : k2*C+C]
+			b3 := w.Data[k3*C : k3*C+C]
+			for j, ov := range oRow {
+				v := ov
+				v += a0 * b0[j]
+				v += a1 * b1[j]
+				v += a2 * b2[j]
+				v += a3 * b3[j]
+				oRow[j] = v
+			}
+		}
+		for ; n < len(nz); n++ {
+			k := nz[n]
+			av := aRow[k]
+			if av == 0 {
+				continue
+			}
+			bRow := w.Data[k*C : k*C+C]
+			for j, bv := range bRow {
+				oRow[j] += av * bv
+			}
+		}
+		epilogue(oRow, bias, relu)
+	}
+	return out
+}
+
+// CompactRows builds the engine's compacted input directly from feature
+// rows: columns that are zero in every row (padding tails, unused one-hot
+// slots) are dropped at copy time, so the first GEMM runs the dense
+// kernel on the surviving columns only. It returns the compacted tensor
+// and the kept column indices (ascending). Dropping an all-zero column
+// removes only exact-zero terms from every output sum, so any layer fed
+// through a correspondingly gathered weight panel (see FrozenLinear
+// ForwardRows) is bitwise identical to the full-width forward.
+func CompactRows(rows [][]float64, width int) (*Tensor, []int) {
+	used := make([]bool, width)
+	cnt := 0
+	for _, r := range rows {
+		if len(r) != width {
+			panic(fmt.Sprintf("nn: CompactRows ragged row %d vs %d", len(r), width))
+		}
+		if cnt == width {
+			break
+		}
+		for k, v := range r {
+			if v != 0 && !used[k] {
+				used[k] = true
+				cnt++
+			}
+		}
+	}
+	cols := make([]int, 0, cnt)
+	for k, u := range used {
+		if u {
+			cols = append(cols, k)
+		}
+	}
+	if len(cols) == 0 {
+		// Degenerate all-zero batch: keep one column so shapes stay valid.
+		cols = append(cols, 0)
+	}
+	x := New(len(rows), len(cols))
+	for i, r := range rows {
+		dst := x.Data[i*len(cols) : (i+1)*len(cols)]
+		for n, k := range cols {
+			dst[n] = r[k]
+		}
+	}
+	return x, cols
+}
+
+// gatherWeightRows copies the weight rows selected by cols into one
+// contiguous panel matching a CompactRows input.
+func gatherWeightRows(w *Tensor, cols []int) *Tensor {
+	out := New(len(cols), w.C)
+	for n, k := range cols {
+		copy(out.Data[n*w.C:(n+1)*w.C], w.Data[k*w.C:(k+1)*w.C])
+	}
+	return out
+}
+
+// nonzeroCols returns the ascending indices of columns with at least one
+// nonzero entry. The scan stops early once every column is known used, so
+// dense activations pay a few rows of scanning while structurally sparse
+// feature batches are detected exactly.
+func nonzeroCols(x *Tensor) []int {
+	K := x.C
+	used := make([]bool, K)
+	cnt := 0
+	for i := 0; i < x.R && cnt < K; i++ {
+		row := x.Data[i*K : i*K+K]
+		for k, v := range row {
+			if v != 0 && !used[k] {
+				used[k] = true
+				cnt++
+				if cnt == K {
+					break
+				}
+			}
+		}
+	}
+	nz := make([]int, 0, cnt)
+	for k, u := range used {
+		if u {
+			nz = append(nz, k)
+		}
+	}
+	return nz
+}
+
+// epilogue applies the fused bias add and ReLU to one finished output
+// row — the same values AddBias and ReLU produce as separate passes.
+func epilogue(oRow, bias []float64, relu bool) {
+	switch {
+	case bias != nil && relu:
+		for j, bv := range bias {
+			// Branchless max: same bits as ReLU's conditional for the
+			// finite values the engine contracts on (+0.0 on the zero and
+			// negative side either way).
+			oRow[j] = max(oRow[j]+bv, 0)
+		}
+	case bias != nil:
+		for j, bv := range bias {
+			oRow[j] += bv
+		}
+	case relu:
+		for j, v := range oRow {
+			oRow[j] = max(v, 0)
+		}
+	}
+}
+
+// DedupRows returns the distinct rows of a feature matrix in
+// first-occurrence order plus the mapping from each original row to its
+// representative. Rows compare by exact bit pattern, so substituting a
+// representative's results for a duplicate's is always bitwise safe.
+func DedupRows(rows [][]float64) (uniq [][]float64, idx []int) {
+	idx = make([]int, len(rows))
+	seen := make(map[string]int, len(rows))
+	var key []byte
+	for i, r := range rows {
+		key = key[:0]
+		for _, v := range r {
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(v))
+		}
+		if j, ok := seen[string(key)]; ok {
+			idx[i] = j
+			continue
+		}
+		seen[string(key)] = len(uniq)
+		idx[i] = len(uniq)
+		uniq = append(uniq, r)
+	}
+	return uniq, idx
+}
+
+// GatherRows expands a deduplicated tensor: row i of the result is src
+// row idx[i]. Inference-only (src must not carry gradients).
+func GatherRows(src *Tensor, idx []int) *Tensor {
+	if src.requiresGrad {
+		panic("nn: GatherRows of a gradient-carrying tensor")
+	}
+	out := New(len(idx), src.C)
+	for i, j := range idx {
+		copy(out.Data[i*src.C:(i+1)*src.C], src.Data[j*src.C:(j+1)*src.C])
+	}
+	return out
+}
+
+// FrozenLinear is an inference view of a Linear layer: it aliases the
+// layer's current weights and drives them through the fused kernel. Build
+// it after FreezeParams and use it within one Predict call — it does not
+// participate in the tape and must not outlive concurrent training steps.
+type FrozenLinear struct {
+	w    *Tensor
+	bias []float64
+}
+
+// Freeze returns the layer's inference view.
+func (l *Linear) Freeze() *FrozenLinear {
+	return &FrozenLinear{w: l.W, bias: l.B.Data}
+}
+
+// Forward computes x@W + b, bitwise identical to Linear.Forward.
+func (l *FrozenLinear) Forward(x *Tensor) *Tensor {
+	return matmulFused(x, l.w, l.bias, false)
+}
+
+// ForwardReLU computes max(0, x@W + b) in one pass, bitwise identical to
+// ReLU(Linear.Forward(x)).
+func (l *FrozenLinear) ForwardReLU(x *Tensor) *Tensor {
+	return matmulFused(x, l.w, l.bias, true)
+}
+
+// forwardDense is Forward without the nonzero-column scan, for inputs
+// known to be dense activations.
+func (l *FrozenLinear) forwardDense(x *Tensor) *Tensor {
+	return matmulFusedDense(x, l.w, l.bias, false)
+}
+
+// ForwardRows runs the layer directly on feature rows: the input is
+// compacted at copy time (CompactRows) and contracted against the
+// matching weight panel — bitwise identical to Forward over FromRows.
+func (l *FrozenLinear) ForwardRows(rows [][]float64) *Tensor {
+	x, cols := CompactRows(rows, l.w.R)
+	return matmulFusedDense(x, gatherWeightRows(l.w, cols), l.bias, false)
+}
+
+// FrozenMLP is an inference view of an MLP.
+type FrozenMLP struct {
+	layers []*FrozenLinear
+}
+
+// Freeze returns the MLP's inference view.
+func (m *MLP) Freeze() *FrozenMLP {
+	f := &FrozenMLP{layers: make([]*FrozenLinear, len(m.Layers))}
+	for i, l := range m.Layers {
+		f.layers[i] = l.Freeze()
+	}
+	return f
+}
+
+// Forward mirrors MLP.Forward: ReLU between layers, none after the last.
+// The first layer sees raw feature rows and scans for structurally-zero
+// columns; deeper layers see dense activations and skip the scan.
+func (m *FrozenMLP) Forward(x *Tensor) *Tensor {
+	for i, l := range m.layers {
+		relu := i+1 < len(m.layers)
+		if i == 0 {
+			x = matmulFused(x, l.w, l.bias, relu)
+		} else {
+			x = matmulFusedDense(x, l.w, l.bias, relu)
+		}
+	}
+	return x
+}
+
+// ForwardReLU applies ReLU after every layer including the last — the
+// ReLU(MLP.Forward(x)) composition the cost models use for embeddings.
+func (m *FrozenMLP) ForwardReLU(x *Tensor) *Tensor {
+	for i, l := range m.layers {
+		if i == 0 {
+			x = matmulFused(x, l.w, l.bias, true)
+		} else {
+			x = matmulFusedDense(x, l.w, l.bias, true)
+		}
+	}
+	return x
+}
+
+// ForwardReLURows is ForwardReLU fed directly from feature rows, with the
+// first layer contracted over the compacted columns (see ForwardRows).
+func (m *FrozenMLP) ForwardReLURows(rows [][]float64) *Tensor {
+	l0 := m.layers[0]
+	x, cols := CompactRows(rows, l0.w.R)
+	x = matmulFusedDense(x, gatherWeightRows(l0.w, cols), l0.bias, true)
+	for _, l := range m.layers[1:] {
+		x = matmulFusedDense(x, l.w, l.bias, true)
+	}
+	return x
+}
+
+// FrozenAttention is an inference view of a SelfAttention block.
+type FrozenAttention struct {
+	q, k, v, o *FrozenLinear
+	normG      *Tensor
+	normB      *Tensor
+	dim        int
+}
+
+// Freeze returns the block's inference view.
+func (a *SelfAttention) Freeze() *FrozenAttention {
+	return &FrozenAttention{
+		q:     a.Q.Freeze(),
+		k:     a.K.Freeze(),
+		v:     a.V.Freeze(),
+		o:     a.O.Freeze(),
+		normG: a.Norm.G,
+		normB: a.Norm.B,
+		dim:   a.dim,
+	}
+}
+
+// ForwardSegments applies the attention block independently to contiguous
+// row segments of x (lens summing to x.R): the Q/K/V/O projections and
+// the residual layer norm run batched across all segments, while the
+// score matmuls and softmax — the only parts that mix rows — stay
+// segment-local. Each segment's output is bitwise identical to
+// SelfAttention.Forward over that segment alone.
+func (a *FrozenAttention) ForwardSegments(x *Tensor, lens []int) *Tensor {
+	return a.forwardFrom(x, a.q.forwardDense(x), a.k.forwardDense(x), a.v.forwardDense(x), lens)
+}
+
+// ForwardSegmentsDedup is ForwardSegments over a token sequence given in
+// deduplicated form: uniq holds the distinct token rows and idx maps each
+// expanded row to its distinct representative (see DedupRows). The Q/K/V
+// projections run once per distinct row and are gathered back, so batches
+// whose tokens repeat heavily — TLP's near-constant one-hots, PaCM's
+// zero-padded dataflow rows — skip most projection work. A projection is
+// row-wise, so projecting a representative and copying is bitwise
+// identical to projecting every duplicate.
+func (a *FrozenAttention) ForwardSegmentsDedup(uniq *Tensor, idx []int, lens []int) *Tensor {
+	qu := a.q.forwardDense(uniq)
+	ku := a.k.forwardDense(uniq)
+	vu := a.v.forwardDense(uniq)
+	return a.forwardFrom(
+		GatherRows(uniq, idx),
+		GatherRows(qu, idx),
+		GatherRows(ku, idx),
+		GatherRows(vu, idx),
+		lens,
+	)
+}
+
+// forwardFrom is the shared attention core over precomputed projections.
+// Scores, softmax and the value mix run on one reused scratch row per
+// segment — no per-segment tensors — with each value accumulated in the
+// same order as the operator chain it replaces
+// (SoftmaxRows(Scale(MatMul(qs, ksᵀ))) @ vs).
+func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
+	C := x.C
+	ctx := New(x.R, C)
+	scale := 1 / math.Sqrt(float64(a.dim))
+	var scratch []float64
+	// softmaxRow replicates SoftmaxRows' operation order on one scratch
+	// row in place.
+	softmaxRow := func(row []float64) {
+		m := math.Inf(-1)
+		for _, sv := range row {
+			m = math.Max(m, sv)
+		}
+		var sum float64
+		for jj, sv := range row {
+			e := math.Exp(sv - m)
+			row[jj] = e
+			sum += e
+		}
+		for jj := range row {
+			row[jj] /= sum
+		}
+	}
+	off := 0
+	for _, n := range lens {
+		if len(scratch) < 2*n {
+			scratch = make([]float64, 2*n)
+		}
+		row0, row1 := scratch[:n], scratch[n:2*n]
+		// Query rows go in pairs sharing each key/value row load.
+		r := off
+		for ; r+2 <= off+n; r += 2 {
+			q0 := q.Data[r*C : r*C+C]
+			q1 := q.Data[(r+1)*C : (r+1)*C+C]
+			// Scaled scores against the segment's keys: the full dot in
+			// ascending order, then one multiply — exactly
+			// Scale(MatMul(qs, Transpose(ks))).
+			for jj := 0; jj < n; jj++ {
+				kRow := k.Data[(off+jj)*C : (off+jj)*C+C]
+				var s0, s1 float64
+				for kk, kv := range kRow {
+					s0 += q0[kk] * kv
+					s1 += q1[kk] * kv
+				}
+				row0[jj] = s0 * scale
+				row1[jj] = s1 * scale
+			}
+			softmaxRow(row0)
+			softmaxRow(row1)
+			// ctx rows = attn @ values, ascending over the segment. A
+			// softmax weight is only zero on deep underflow; the exact
+			// ±0.0 term it then contributes is harmless (finite values).
+			c0 := ctx.Data[r*C : r*C+C]
+			c1 := ctx.Data[(r+1)*C : (r+1)*C+C]
+			for jj := 0; jj < n; jj++ {
+				a0, a1 := row0[jj], row1[jj]
+				vRow := v.Data[(off+jj)*C : (off+jj)*C+C]
+				for c2, vv := range vRow {
+					c0[c2] += a0 * vv
+					c1[c2] += a1 * vv
+				}
+			}
+		}
+		for ; r < off+n; r++ {
+			qRow := q.Data[r*C : r*C+C]
+			for jj := 0; jj < n; jj++ {
+				kRow := k.Data[(off+jj)*C : (off+jj)*C+C]
+				var s float64
+				for kk, kv := range kRow {
+					s += qRow[kk] * kv
+				}
+				row0[jj] = s * scale
+			}
+			softmaxRow(row0)
+			cRow := ctx.Data[r*C : r*C+C]
+			for jj, av := range row0[:n] {
+				vRow := v.Data[(off+jj)*C : (off+jj)*C+C]
+				for c2, vv := range vRow {
+					cRow[c2] += av * vv
+				}
+			}
+		}
+		off += n
+	}
+	if off != x.R {
+		panic(fmt.Sprintf("nn: ForwardSegments lengths sum to %d, tensor has %d rows", off, x.R))
+	}
+	return LayerNormRows(Add(x, a.o.forwardDense(ctx)), a.normG, a.normB)
+}

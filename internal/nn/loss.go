@@ -87,13 +87,15 @@ func LambdaRankLoss(scores *Tensor, rel []float64) *Tensor {
 		pairs = 1
 	}
 
-	var out *Tensor
-	out = newOp(1, 1, func() {
-		g := out.Grad[0] / pairs
-		for i := 0; i < n; i++ {
-			addGrad(scores, i*scores.C, g*lambdas[i])
-		}
-	}, scores)
+	out := New(1, 1)
 	out.Data[0] = lossVal / pairs
+	if needsGrad(scores) {
+		out.enableGrad(func() {
+			g := out.Grad[0] / pairs
+			for i := 0; i < n; i++ {
+				addGrad(scores, i*scores.C, g*lambdas[i])
+			}
+		}, scores)
+	}
 	return out
 }

@@ -8,6 +8,12 @@
 // matrices not tensors, training single-goroutine, inference concurrent
 // over frozen parameters (FreezeParams) — but exact: every operator has
 // an analytic backward verified by finite differences in the test suite.
+//
+// Operators attach their tape state (gradient buffer, backward closure,
+// parent links) only when some parent requires gradients. Under
+// FreezeParams nothing does, so the inference hot path allocates no tape
+// at all — the no-tape forward the batched cost-model engine (infer.go)
+// builds on.
 package nn
 
 import (
@@ -125,16 +131,16 @@ func needsGrad(parents ...*Tensor) bool {
 	return false
 }
 
-// newOp allocates the output tensor of an operator.
-func newOp(r, c int, back func(), parents ...*Tensor) *Tensor {
-	t := New(r, c)
-	if needsGrad(parents...) {
-		t.requiresGrad = true
-		t.Grad = make([]float64, r*c)
-		t.back = back
-		t.prev = parents
-	}
-	return t
+// enableGrad links an op output into the tape: gradient buffer, backward
+// closure, parent edges. Operators call it only when needsGrad reports a
+// gradient-carrying parent, so inference forwards never allocate tape
+// state — the closure literal itself lives inside the caller's if-block
+// and is not even constructed.
+func (t *Tensor) enableGrad(back func(), parents ...*Tensor) {
+	t.requiresGrad = true
+	t.Grad = make([]float64, t.R*t.C)
+	t.back = back
+	t.prev = parents
 }
 
 // addGrad accumulates into a parent's gradient if it participates.
@@ -189,42 +195,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: matmul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
 	}
-	var out *Tensor
-	out = newOp(a.R, b.C, func() {
-		// dA = dOut @ B^T ; dB = A^T @ dOut. Hot path: operate on raw
-		// slices with the participation checks hoisted out of the loops.
-		K, C := a.C, b.C
-		if a.requiresGrad {
-			for i := 0; i < a.R; i++ {
-				gRow := out.Grad[i*C : (i+1)*C]
-				aGrad := a.Grad[i*K : (i+1)*K]
-				for k := 0; k < K; k++ {
-					bRow := b.Data[k*C : (k+1)*C]
-					var ga float64
-					for j, g := range gRow {
-						ga += g * bRow[j]
-					}
-					aGrad[k] += ga
-				}
-			}
-		}
-		if b.requiresGrad {
-			for i := 0; i < a.R; i++ {
-				gRow := out.Grad[i*C : (i+1)*C]
-				aRow := a.Data[i*K : (i+1)*K]
-				for k := 0; k < K; k++ {
-					av := aRow[k]
-					if av == 0 {
-						continue
-					}
-					bGrad := b.Grad[k*C : (k+1)*C]
-					for j, g := range gRow {
-						bGrad[j] += av * g
-					}
-				}
-			}
-		}
-	}, a, b)
+	out := New(a.R, b.C)
 	for i := 0; i < a.R; i++ {
 		oRow := out.Data[i*out.C : (i+1)*out.C]
 		for k := 0; k < a.C; k++ {
@@ -238,6 +209,43 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
+	if needsGrad(a, b) {
+		out.enableGrad(func() {
+			// dA = dOut @ B^T ; dB = A^T @ dOut. Hot path: operate on raw
+			// slices with the participation checks hoisted out of the loops.
+			K, C := a.C, b.C
+			if a.requiresGrad {
+				for i := 0; i < a.R; i++ {
+					gRow := out.Grad[i*C : (i+1)*C]
+					aGrad := a.Grad[i*K : (i+1)*K]
+					for k := 0; k < K; k++ {
+						bRow := b.Data[k*C : (k+1)*C]
+						var ga float64
+						for j, g := range gRow {
+							ga += g * bRow[j]
+						}
+						aGrad[k] += ga
+					}
+				}
+			}
+			if b.requiresGrad {
+				for i := 0; i < a.R; i++ {
+					gRow := out.Grad[i*C : (i+1)*C]
+					aRow := a.Data[i*K : (i+1)*K]
+					for k := 0; k < K; k++ {
+						av := aRow[k]
+						if av == 0 {
+							continue
+						}
+						bGrad := b.Grad[k*C : (k+1)*C]
+						for j, g := range gRow {
+							bGrad[j] += av * g
+						}
+					}
+				}
+			}
+		}, a, b)
+	}
 	return out
 }
 
@@ -246,20 +254,22 @@ func AddBias(x, b *Tensor) *Tensor {
 	if b.R != 1 || b.C != x.C {
 		panic(fmt.Sprintf("nn: addbias %dx%d + %dx%d", x.R, x.C, b.R, b.C))
 	}
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i := 0; i < x.R; i++ {
-			for j := 0; j < x.C; j++ {
-				g := out.Grad[i*x.C+j]
-				addGrad(x, i*x.C+j, g)
-				addGrad(b, j, g)
-			}
-		}
-	}, x, b)
+	out := New(x.R, x.C)
 	for i := 0; i < x.R; i++ {
 		for j := 0; j < x.C; j++ {
 			out.Data[i*x.C+j] = x.Data[i*x.C+j] + b.Data[j]
 		}
+	}
+	if needsGrad(x, b) {
+		out.enableGrad(func() {
+			for i := 0; i < x.R; i++ {
+				for j := 0; j < x.C; j++ {
+					g := out.Grad[i*x.C+j]
+					addGrad(x, i*x.C+j, g)
+					addGrad(b, j, g)
+				}
+			}
+		}, x, b)
 	}
 	return out
 }
@@ -267,15 +277,17 @@ func AddBias(x, b *Tensor) *Tensor {
 // Add returns the elementwise sum of equal-shaped tensors.
 func Add(a, b *Tensor) *Tensor {
 	shapeCheck("add", a, b)
-	var out *Tensor
-	out = newOp(a.R, a.C, func() {
-		for i, g := range out.Grad {
-			addGrad(a, i, g)
-			addGrad(b, i, g)
-		}
-	}, a, b)
+	out := New(a.R, a.C)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if needsGrad(a, b) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				addGrad(a, i, g)
+				addGrad(b, i, g)
+			}
+		}, a, b)
 	}
 	return out
 }
@@ -283,15 +295,17 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	shapeCheck("sub", a, b)
-	var out *Tensor
-	out = newOp(a.R, a.C, func() {
-		for i, g := range out.Grad {
-			addGrad(a, i, g)
-			addGrad(b, i, -g)
-		}
-	}, a, b)
+	out := New(a.R, a.C)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	if needsGrad(a, b) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				addGrad(a, i, g)
+				addGrad(b, i, -g)
+			}
+		}, a, b)
 	}
 	return out
 }
@@ -299,97 +313,94 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns the elementwise product.
 func Mul(a, b *Tensor) *Tensor {
 	shapeCheck("mul", a, b)
-	var out *Tensor
-	out = newOp(a.R, a.C, func() {
-		for i, g := range out.Grad {
-			addGrad(a, i, g*b.Data[i])
-			addGrad(b, i, g*a.Data[i])
-		}
-	}, a, b)
+	out := New(a.R, a.C)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if needsGrad(a, b) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				addGrad(a, i, g*b.Data[i])
+				addGrad(b, i, g*a.Data[i])
+			}
+		}, a, b)
 	}
 	return out
 }
 
 // Scale multiplies by a constant.
 func Scale(x *Tensor, k float64) *Tensor {
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i, g := range out.Grad {
-			addGrad(x, i, g*k)
-		}
-	}, x)
+	out := New(x.R, x.C)
 	for i := range out.Data {
 		out.Data[i] = x.Data[i] * k
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				addGrad(x, i, g*k)
+			}
+		}, x)
 	}
 	return out
 }
 
 // ReLU applies max(0, x).
 func ReLU(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i, g := range out.Grad {
-			if x.Data[i] > 0 {
-				addGrad(x, i, g)
-			}
-		}
-	}, x)
+	out := New(x.R, x.C)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
 		}
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				if x.Data[i] > 0 {
+					addGrad(x, i, g)
+				}
+			}
+		}, x)
 	}
 	return out
 }
 
 // Tanh applies the hyperbolic tangent.
 func Tanh(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i, g := range out.Grad {
-			y := out.Data[i]
-			addGrad(x, i, g*(1-y*y))
-		}
-	}, x)
+	out := New(x.R, x.C)
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				y := out.Data[i]
+				addGrad(x, i, g*(1-y*y))
+			}
+		}, x)
 	}
 	return out
 }
 
 // Sigmoid applies the logistic function.
 func Sigmoid(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i, g := range out.Grad {
-			y := out.Data[i]
-			addGrad(x, i, g*y*(1-y))
-		}
-	}, x)
+	out := New(x.R, x.C)
 	for i, v := range x.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i, g := range out.Grad {
+				y := out.Data[i]
+				addGrad(x, i, g*y*(1-y))
+			}
+		}, x)
 	}
 	return out
 }
 
 // SoftmaxRows applies softmax independently to each row.
 func SoftmaxRows(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i := 0; i < x.R; i++ {
-			row := out.Data[i*x.C : (i+1)*x.C]
-			grow := out.Grad[i*x.C : (i+1)*x.C]
-			var dot float64
-			for j := range row {
-				dot += grow[j] * row[j]
-			}
-			for j := range row {
-				addGrad(x, i*x.C+j, row[j]*(grow[j]-dot))
-			}
-		}
-	}, x)
+	out := New(x.R, x.C)
 	for i := 0; i < x.R; i++ {
 		row := x.Data[i*x.C : (i+1)*x.C]
 		m := math.Inf(-1)
@@ -407,23 +418,40 @@ func SoftmaxRows(x *Tensor) *Tensor {
 			orow[j] /= sum
 		}
 	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i := 0; i < x.R; i++ {
+				row := out.Data[i*x.C : (i+1)*x.C]
+				grow := out.Grad[i*x.C : (i+1)*x.C]
+				var dot float64
+				for j := range row {
+					dot += grow[j] * row[j]
+				}
+				for j := range row {
+					addGrad(x, i*x.C+j, row[j]*(grow[j]-dot))
+				}
+			}
+		}, x)
+	}
 	return out
 }
 
 // Transpose returns x^T.
 func Transpose(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(x.C, x.R, func() {
-		for i := 0; i < x.R; i++ {
-			for j := 0; j < x.C; j++ {
-				addGrad(x, i*x.C+j, out.Grad[j*x.R+i])
-			}
-		}
-	}, x)
+	out := New(x.C, x.R)
 	for i := 0; i < x.R; i++ {
 		for j := 0; j < x.C; j++ {
 			out.Data[j*x.R+i] = x.Data[i*x.C+j]
 		}
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i := 0; i < x.R; i++ {
+				for j := 0; j < x.C; j++ {
+					addGrad(x, i*x.C+j, out.Grad[j*x.R+i])
+				}
+			}
+		}, x)
 	}
 	return out
 }
@@ -434,20 +462,22 @@ func ConcatCols(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: concat rows %d vs %d", a.R, b.R))
 	}
 	cols := a.C + b.C
-	var out *Tensor
-	out = newOp(a.R, cols, func() {
-		for i := 0; i < a.R; i++ {
-			for j := 0; j < a.C; j++ {
-				addGrad(a, i*a.C+j, out.Grad[i*cols+j])
-			}
-			for j := 0; j < b.C; j++ {
-				addGrad(b, i*b.C+j, out.Grad[i*cols+a.C+j])
-			}
-		}
-	}, a, b)
+	out := New(a.R, cols)
 	for i := 0; i < a.R; i++ {
 		copy(out.Data[i*cols:i*cols+a.C], a.Data[i*a.C:(i+1)*a.C])
 		copy(out.Data[i*cols+a.C:(i+1)*cols], b.Data[i*b.C:(i+1)*b.C])
+	}
+	if needsGrad(a, b) {
+		out.enableGrad(func() {
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < a.C; j++ {
+					addGrad(a, i*a.C+j, out.Grad[i*cols+j])
+				}
+				for j := 0; j < b.C; j++ {
+					addGrad(b, i*b.C+j, out.Grad[i*cols+a.C+j])
+				}
+			}
+		}, a, b)
 	}
 	return out
 }
@@ -465,38 +495,42 @@ func ConcatRows(ts ...*Tensor) *Tensor {
 		}
 		rows += t.R
 	}
-	var out *Tensor
-	out = newOp(rows, cols, func() {
-		off := 0
-		for _, t := range ts {
-			for i := 0; i < t.R*t.C; i++ {
-				addGrad(t, i, out.Grad[off+i])
-			}
-			off += t.R * t.C
-		}
-	}, ts...)
+	out := New(rows, cols)
 	off := 0
 	for _, t := range ts {
 		copy(out.Data[off:off+t.R*t.C], t.Data)
 		off += t.R * t.C
+	}
+	if needsGrad(ts...) {
+		out.enableGrad(func() {
+			off := 0
+			for _, t := range ts {
+				for i := 0; i < t.R*t.C; i++ {
+					addGrad(t, i, out.Grad[off+i])
+				}
+				off += t.R * t.C
+			}
+		}, ts...)
 	}
 	return out
 }
 
 // SumRows sums over rows, producing a 1 x C tensor.
 func SumRows(x *Tensor) *Tensor {
-	var out *Tensor
-	out = newOp(1, x.C, func() {
-		for i := 0; i < x.R; i++ {
-			for j := 0; j < x.C; j++ {
-				addGrad(x, i*x.C+j, out.Grad[j])
-			}
-		}
-	}, x)
+	out := New(1, x.C)
 	for i := 0; i < x.R; i++ {
 		for j := 0; j < x.C; j++ {
 			out.Data[j] += x.Data[i*x.C+j]
 		}
+	}
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			for i := 0; i < x.R; i++ {
+				for j := 0; j < x.C; j++ {
+					addGrad(x, i*x.C+j, out.Grad[j])
+				}
+			}
+		}, x)
 	}
 	return out
 }
@@ -506,21 +540,106 @@ func MeanRows(x *Tensor) *Tensor {
 	return Scale(SumRows(x), 1/float64(x.R))
 }
 
+// SegmentSumRows sums contiguous row segments of x: lens[s] rows belong to
+// segment s (the lengths must sum to x.R) and row s of the len(lens) x C
+// result is their sum. Rows accumulate in order, so each output row is
+// bitwise identical to SumRows over that segment in isolation — the
+// reduction the batched cost-model engine uses to pool a whole candidate
+// batch's statement rows after one fused GEMM.
+func SegmentSumRows(x *Tensor, lens []int) *Tensor {
+	total := 0
+	for s, n := range lens {
+		if n <= 0 {
+			panic(fmt.Sprintf("nn: SegmentSumRows segment %d has length %d", s, n))
+		}
+		total += n
+	}
+	if total != x.R {
+		panic(fmt.Sprintf("nn: SegmentSumRows lengths sum to %d, tensor has %d rows", total, x.R))
+	}
+	out := New(len(lens), x.C)
+	row := 0
+	for s, n := range lens {
+		oRow := out.Data[s*x.C : (s+1)*x.C]
+		for r := 0; r < n; r++ {
+			xRow := x.Data[row*x.C : (row+1)*x.C]
+			for j, v := range xRow {
+				oRow[j] += v
+			}
+			row++
+		}
+	}
+	if needsGrad(x) {
+		starts := segmentStarts(lens)
+		out.enableGrad(func() {
+			for s, n := range lens {
+				gRow := out.Grad[s*x.C : (s+1)*x.C]
+				for r := 0; r < n; r++ {
+					base := (starts[s] + r) * x.C
+					for j, g := range gRow {
+						addGrad(x, base+j, g)
+					}
+				}
+			}
+		}, x)
+	}
+	return out
+}
+
+// SegmentMeanRows averages contiguous row segments of x (see
+// SegmentSumRows); each output row is bitwise identical to MeanRows over
+// that segment in isolation (sum in row order, then one multiply by the
+// reciprocal length).
+func SegmentMeanRows(x *Tensor, lens []int) *Tensor {
+	sum := SegmentSumRows(x, lens)
+	out := New(sum.R, sum.C)
+	for s, n := range lens {
+		inv := 1 / float64(n)
+		for j := 0; j < sum.C; j++ {
+			out.Data[s*sum.C+j] = sum.Data[s*sum.C+j] * inv
+		}
+	}
+	if needsGrad(sum) {
+		out.enableGrad(func() {
+			for s, n := range lens {
+				inv := 1 / float64(n)
+				for j := 0; j < sum.C; j++ {
+					addGrad(sum, s*sum.C+j, out.Grad[s*sum.C+j]*inv)
+				}
+			}
+		}, sum)
+	}
+	return out
+}
+
+// segmentStarts returns the first row index of each segment.
+func segmentStarts(lens []int) []int {
+	starts := make([]int, len(lens))
+	row := 0
+	for s, n := range lens {
+		starts[s] = row
+		row += n
+	}
+	return starts
+}
+
 // MeanAll reduces to the scalar mean of all entries.
 func MeanAll(x *Tensor) *Tensor {
 	n := float64(x.R * x.C)
-	var out *Tensor
-	out = newOp(1, 1, func() {
-		g := out.Grad[0] / n
-		for i := range x.Data {
-			addGrad(x, i, g)
-		}
-	}, x)
+	out := New(1, 1)
 	var sum float64
 	for _, v := range x.Data {
 		sum += v
 	}
 	out.Data[0] = sum / n
+	if needsGrad(x) {
+		out.enableGrad(func() {
+			g := out.Grad[0] / n
+			for i := range x.Data {
+				addGrad(x, i, g)
+			}
+		}, x)
+	}
 	return out
 }
 
@@ -532,29 +651,15 @@ func LayerNormRows(x, g, b *Tensor) *Tensor {
 		panic("nn: layernorm parameter shape mismatch")
 	}
 	n := float64(x.C)
-	means := make([]float64, x.R)
-	invStd := make([]float64, x.R)
-	norm := make([]float64, x.R*x.C)
-	var out *Tensor
-	out = newOp(x.R, x.C, func() {
-		for i := 0; i < x.R; i++ {
-			// dxhat_j = dy_j * g_j
-			var sumDx, sumDxX float64
-			for j := 0; j < x.C; j++ {
-				dxh := out.Grad[i*x.C+j] * g.Data[j]
-				sumDx += dxh
-				sumDxX += dxh * norm[i*x.C+j]
-			}
-			for j := 0; j < x.C; j++ {
-				idx := i*x.C + j
-				dy := out.Grad[idx]
-				dxh := dy * g.Data[j]
-				addGrad(x, idx, invStd[i]*(dxh-sumDx/n-norm[idx]*sumDxX/n))
-				addGrad(g, j, dy*norm[idx])
-				addGrad(b, j, dy)
-			}
-		}
-	}, x, g, b)
+	grad := needsGrad(x, g, b)
+	// The normalised values and inverse stds are backward-only state;
+	// inference forwards skip both allocations.
+	var invStd, norm []float64
+	if grad {
+		invStd = make([]float64, x.R)
+		norm = make([]float64, x.R*x.C)
+	}
+	out := New(x.R, x.C)
 	for i := 0; i < x.R; i++ {
 		var mu float64
 		for j := 0; j < x.C; j++ {
@@ -567,13 +672,39 @@ func LayerNormRows(x, g, b *Tensor) *Tensor {
 			v += d * d
 		}
 		v /= n
-		means[i] = mu
-		invStd[i] = 1 / math.Sqrt(v+eps)
+		inv := 1 / math.Sqrt(v+eps)
+		if grad {
+			invStd[i] = inv
+		}
 		for j := 0; j < x.C; j++ {
 			idx := i*x.C + j
-			norm[idx] = (x.Data[idx] - mu) * invStd[i]
-			out.Data[idx] = norm[idx]*g.Data[j] + b.Data[j]
+			nv := (x.Data[idx] - mu) * inv
+			if grad {
+				norm[idx] = nv
+			}
+			out.Data[idx] = nv*g.Data[j] + b.Data[j]
 		}
+	}
+	if grad {
+		out.enableGrad(func() {
+			for i := 0; i < x.R; i++ {
+				// dxhat_j = dy_j * g_j
+				var sumDx, sumDxX float64
+				for j := 0; j < x.C; j++ {
+					dxh := out.Grad[i*x.C+j] * g.Data[j]
+					sumDx += dxh
+					sumDxX += dxh * norm[i*x.C+j]
+				}
+				for j := 0; j < x.C; j++ {
+					idx := i*x.C + j
+					dy := out.Grad[idx]
+					dxh := dy * g.Data[j]
+					addGrad(x, idx, invStd[i]*(dxh-sumDx/n-norm[idx]*sumDxX/n))
+					addGrad(g, j, dy*norm[idx])
+					addGrad(b, j, dy)
+				}
+			}
+		}, x, g, b)
 	}
 	return out
 }

@@ -1,6 +1,8 @@
 package schedule
 
 import (
+	"sync"
+
 	"pruner/internal/ir"
 )
 
@@ -107,6 +109,27 @@ type Lowered struct {
 	TotalFlops      float64 // S8 (L2CompCount)
 
 	Stmts []Statement
+
+	// featOnce / feat cache derived per-program feature matrices (one slot
+	// per family, indexed by the features package), so a memoized program
+	// is featurized at most once per round even when draft scoring,
+	// verification and training all touch it. Lowered must therefore not
+	// be copied by value once shared.
+	featOnce [NumFeatureSlots]sync.Once
+	feat     [NumFeatureSlots][][]float64
+}
+
+// NumFeatureSlots is the number of cached feature families on a Lowered
+// program (statement, dataflow and primitive features).
+const NumFeatureSlots = 3
+
+// FeatureRows returns the cached feature matrix for the given slot,
+// computing it with compute on first use. Concurrent callers are safe:
+// the winning computation is shared and compute runs at most once per
+// slot. compute must be a pure function of the lowered program.
+func (lw *Lowered) FeatureRows(slot int, compute func(*Lowered) [][]float64) [][]float64 {
+	lw.featOnce[slot].Do(func() { lw.feat[slot] = compute(lw) })
+	return lw.feat[slot]
 }
 
 // Lower materialises the statements of (task, schedule). It never fails:

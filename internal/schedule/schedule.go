@@ -14,6 +14,7 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"sync/atomic"
@@ -310,9 +311,9 @@ func NewGenerator(t *ir.Task) *Generator {
 	return &Generator{Task: t, MaxThreads: 1024, WMMA: 16}
 }
 
-// fits reports whether a schedule satisfies the generator's resource
-// constraints.
-func (g *Generator) fits(s *Schedule) bool {
+// Fits reports whether a schedule satisfies the generator's resource
+// constraints (the sampler-side validity pre-filter).
+func (g *Generator) Fits(s *Schedule) bool {
 	tp := s.ThreadsPerBlock()
 	if tp < 1 || tp > g.MaxThreads {
 		return false
@@ -320,7 +321,10 @@ func (g *Generator) fits(s *Schedule) bool {
 	if g.MaxSharedWords > 0 && g.Task.Tiled() && s.UseShared {
 		lw := Lower(g.Task, s)
 		words4 := lw.SharedPerBlock * float64(g.Task.Precision.Bytes()) / 4
-		if int(words4) > g.MaxSharedWords {
+		// Ceil, not truncate: a fractional word still allocates a whole one,
+		// so truncation admitted schedules just past the budget (the same
+		// bug the search-side buildable filter had).
+		if int(math.Ceil(words4)) > g.MaxSharedWords {
 			return false
 		}
 	}
@@ -333,7 +337,7 @@ func (g *Generator) Random(rng *rand.Rand) *Schedule {
 	var best *Schedule
 	for i := 0; i < attempts; i++ {
 		s := g.randomOnce(rng)
-		if g.fits(s) {
+		if g.Fits(s) {
 			if g.TensorCore && !g.tcAligned(s) {
 				continue
 			}
@@ -360,7 +364,7 @@ func (g *Generator) clampShared(s *Schedule) {
 	for iter := 0; iter < 64; iter++ {
 		lw := Lower(g.Task, s)
 		words4 := lw.SharedPerBlock * float64(g.Task.Precision.Bytes()) / 4
-		if int(words4) <= g.MaxSharedWords {
+		if int(math.Ceil(words4)) <= g.MaxSharedWords {
 			return
 		}
 		// Prefer shrinking the shared-resident reduction extent.
@@ -515,7 +519,7 @@ func (g *Generator) Mutate(rng *rand.Rand, s *Schedule) *Schedule {
 					c.SpatialTiles[d][LvlInner0] *= c.SpatialTiles[d][LvlVThread]
 					c.SpatialTiles[d][LvlVThread] = 1
 				}
-				if g.fits(c) && (!c.TensorCore || g.tcAligned(c)) {
+				if g.Fits(c) && (!c.TensorCore || g.tcAligned(c)) {
 					return c
 				}
 				c = s.Clone()
@@ -523,7 +527,7 @@ func (g *Generator) Mutate(rng *rand.Rand, s *Schedule) *Schedule {
 		case choice < 8 && nReduce > 0: // reduction tile move
 			d := rng.Intn(nReduce)
 			if g.moveFactor(rng, c.ReduceTiles[d][:]) {
-				if g.fits(c) && (!c.TensorCore || g.tcAligned(c)) {
+				if g.Fits(c) && (!c.TensorCore || g.tcAligned(c)) {
 					return c
 				}
 				c = s.Clone()
@@ -582,7 +586,7 @@ func (g *Generator) Crossover(rng *rand.Rand, a, b *Schedule) *Schedule {
 	if rng.Intn(2) == 1 {
 		c.VectorLen = b.VectorLen
 	}
-	if !g.fits(c) || (c.TensorCore && !g.tcAligned(c)) {
+	if !g.Fits(c) || (c.TensorCore && !g.tcAligned(c)) {
 		return a.Clone()
 	}
 	return c

@@ -27,6 +27,32 @@ func DefaultLSEParams() LSEParams {
 	return LSEParams{SpecSize: 512, Population: 1600, Steps: 5, MutateProb: 0.85, CrossProb: 0.05}
 }
 
+// withDefaults fills unset (zero) fields independently. The earlier
+// all-or-nothing rule — defaults only when SpecSize was zero — meant a
+// caller who set SpecSize but left Steps or Population zero silently got
+// an empty draft set. Zero therefore always means "use the default"; a
+// probability of exactly zero is not representable (use a negligible
+// positive value instead).
+func (p LSEParams) withDefaults() LSEParams {
+	def := DefaultLSEParams()
+	if p.SpecSize <= 0 {
+		p.SpecSize = def.SpecSize
+	}
+	if p.Population <= 0 {
+		p.Population = def.Population
+	}
+	if p.Steps <= 0 {
+		p.Steps = def.Steps
+	}
+	if p.MutateProb <= 0 {
+		p.MutateProb = def.MutateProb
+	}
+	if p.CrossProb <= 0 {
+		p.CrossProb = def.CrossProb
+	}
+	return p
+}
+
 // RunLSE is Algorithm 2: a GA over the schedule space whose fitness is the
 // Symbol-based Analyzer's hardware-fitness score, accumulating the best
 // candidates seen into S_spec via PriorFilter. It never touches a learned
@@ -39,9 +65,7 @@ func RunLSE(ctx *Context, p LSEParams) []*schedule.Schedule {
 	if ctx.Draft == nil {
 		panic("search: RunLSE requires a draft analyzer")
 	}
-	if p.SpecSize == 0 {
-		p = DefaultLSEParams()
-	}
+	p = p.withDefaults()
 	// Draft fitness runs on the session pool; breeding stays serial on the
 	// task-owned RNG.
 	scoreFn := ctx.scoreDraft

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"pruner/internal/device"
 	"pruner/internal/schedule"
 )
 
@@ -149,7 +150,7 @@ func (p *RollerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
 	scores := ctx.scoreDraft(pool)
 	var ranked []scored
 	for i, s := range pool {
-		if !rollerAligned(s) {
+		if !rollerAligned(ctx.Draft.Dev, s) {
 			continue
 		}
 		ranked = append(ranked, scored{sch: s, score: scores[i]})
@@ -158,10 +159,13 @@ func (p *RollerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
 	return pickBatch(ctx, ranked, n, 0)
 }
 
-// rollerAligned enforces Roller's rTile alignment rules.
-func rollerAligned(s *schedule.Schedule) bool {
+// rollerAligned enforces Roller's rTile alignment rules against the
+// target device: full warps only, within the device's thread-per-block
+// cap (previously hardcoded to 1024, which over-admitted schedules on
+// presets with a smaller cap).
+func rollerAligned(dev *device.Device, s *schedule.Schedule) bool {
 	threads := s.ThreadsPerBlock()
-	if threads%32 != 0 || threads > 1024 {
+	if threads%dev.WarpSize != 0 || threads > dev.MaxThreads {
 		return false
 	}
 	for d := range s.SpatialTiles {

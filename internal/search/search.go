@@ -41,6 +41,17 @@ type Context struct {
 	// in unit tests.
 	Clock *simulator.Clock
 	Cost  simulator.CostParams
+	// Memo caches this round's lowered programs so a candidate is lowered
+	// (and featurized) exactly once across draft scoring, the buildability
+	// pre-filter and cost-model verification. nil falls back to lowering
+	// on every use.
+	Memo *schedule.Memo
+}
+
+// lower resolves a schedule through the round memo (plain lowering when
+// no memo is installed).
+func (c *Context) lower(s *schedule.Schedule) *schedule.Lowered {
+	return c.Memo.Lower(c.Task, s)
 }
 
 // chargeModel accounts n learned-model candidate evaluations.
@@ -68,7 +79,7 @@ func (c *Context) scoreDraft(schs []*schedule.Schedule) []float64 {
 	c.chargeDraft(len(schs))
 	out := make([]float64, len(schs))
 	c.Pool.ForEach(len(schs), func(i int) {
-		out[i] = c.Draft.Score(schedule.Lower(c.Task, schs[i]))
+		out[i] = c.Draft.Score(c.lower(schs[i]))
 	})
 	return out
 }
@@ -107,9 +118,13 @@ func (c *Context) buildable(s *schedule.Schedule) bool {
 	if s.ThreadsPerBlock() > dev.MaxThreads {
 		return false
 	}
-	lw := schedule.Lower(c.Task, s)
+	lw := c.lower(s)
 	sharedWords4 := lw.SharedPerBlock * float64(c.Task.Precision.Bytes()) / 4
-	return int(sharedWords4) <= dev.SharedPerBlock
+	// Round the demand up: a schedule needing a fraction of a word beyond
+	// the budget still allocates the extra word. Truncation here let
+	// fractionally over-budget schedules through to measurement — the
+	// exact class of invalid program the draft stage exists to prune.
+	return int(math.Ceil(sharedWords4)) <= dev.SharedPerBlock
 }
 
 // pickBatch selects n unmeasured, deduplicated, buildable schedules from

@@ -165,17 +165,17 @@ func TestRollerAlignment(t *testing.T) {
 		ReduceTiles: [][schedule.NumReduceLevels]int{{4, 4, 4}},
 		VectorLen:   1, UseShared: true,
 	}
-	if !rollerAligned(aligned) {
+	if !rollerAligned(device.A100, aligned) {
 		t.Fatal("64-thread power-of-two schedule should be aligned")
 	}
 	odd := aligned.Clone()
 	odd.SpatialTiles[0][schedule.LvlThread] = 7
-	if rollerAligned(odd) {
+	if rollerAligned(device.A100, odd) {
 		t.Fatal("56-thread schedule is not warp aligned")
 	}
 	odd2 := aligned.Clone()
 	odd2.SpatialTiles[0][schedule.LvlInner0] = 3
-	if rollerAligned(odd2) {
+	if rollerAligned(device.A100, odd2) {
 		t.Fatal("non-power-of-two register tile should be rejected")
 	}
 }

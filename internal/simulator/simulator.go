@@ -317,9 +317,18 @@ func (s *Simulator) Measure(t *ir.Task, schs []*schedule.Schedule, rng *rand.Ran
 // exactly the sequence the serial implementation consumes — so a batch is
 // bitwise identical at any worker count and to the serial Measure.
 func (s *Simulator) MeasurePool(t *ir.Task, schs []*schedule.Schedule, rng *rand.Rand, pool *parallel.Pool) []Result {
+	return s.MeasureMemoPool(t, schs, rng, pool, nil)
+}
+
+// MeasureMemoPool is MeasurePool resolving lowerings through a round
+// memo, so candidates the search stages already lowered are not lowered
+// again for measurement (and their cached dataflow features feed the
+// residual model). A nil memo lowers directly; results are identical
+// either way.
+func (s *Simulator) MeasureMemoPool(t *ir.Task, schs []*schedule.Schedule, rng *rand.Rand, pool *parallel.Pool, memo *schedule.Memo) []Result {
 	out := make([]Result, len(schs))
 	pool.ForEach(len(schs), func(i int) {
-		lat, err := s.Latency(t, schs[i])
+		lat, err := s.LatencyLowered(memo.Lower(t, schs[i]))
 		if err != nil {
 			out[i] = Result{Latency: math.Inf(1), Err: err}
 			return

@@ -353,6 +353,15 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		}
 		st := sched.next(round)
 
+		// One lowering memo per round: draft scoring, the buildability
+		// pre-filter and cost-model verification all resolve candidates
+		// through it, so each is lowered and featurized exactly once.
+		// Scoped to the round (not the session) so entries die with the
+		// round's candidate pool.
+		memo := schedule.NewMemo()
+		if mu, ok := opt.Model.(costmodel.MemoUser); ok {
+			mu.SetMemo(memo)
+		}
 		ctx := &search.Context{
 			Task:        st.task,
 			Gen:         st.gen,
@@ -364,13 +373,17 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			Draft:       draft,
 			Clock:       &res.Clock,
 			Cost:        opt.Cost,
+			Memo:        memo,
 		}
 		batch := opt.Policy.NextBatch(ctx, opt.BatchSize)
+		if mu, ok := opt.Model.(costmodel.MemoUser); ok {
+			mu.SetMemo(nil) // do not retain the round's programs
+		}
 		if len(batch) == 0 {
 			continue
 		}
 
-		results := opt.Sim.MeasurePool(st.task, batch, st.rng, pool)
+		results := opt.Sim.MeasureMemoPool(st.task, batch, st.rng, pool, memo)
 		lats := make([]float64, len(results))
 		for i, r := range results {
 			lats[i] = r.Latency
