@@ -36,7 +36,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -timeout=120m .
 
 # CI's benchmark smoke: every internal benchmark once (incl. the
-# verify-stage BenchmarkPredictBatched) plus a bounded root subset.
+# verify-stage BenchmarkPredictBatched and the training-engine
+# BenchmarkFit) plus a bounded root subset.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) test -run='^$$' -bench='BenchmarkTuneParallel|BenchmarkAblation_SAvsOracle' -benchtime=1x -timeout=20m .

@@ -8,11 +8,14 @@
 // DESIGN.md §3 maps benchmark names to experiment IDs, workloads and
 // modules; EXPERIMENTS.md records paper-vs-measured values.
 //
-// The verify-stage hot path has its own harness next to the code it
-// measures: BenchmarkPredictBatched (internal/costmodel) compares the
+// The session hot paths have their own harnesses next to the code they
+// measure: BenchmarkPredictBatched (internal/costmodel) compares the
 // batched no-tape inference engine against the per-candidate baseline
-// it replaced (DESIGN.md §7). CI runs every internal benchmark once per
-// push (`make bench-smoke`) so bench code cannot bit-rot.
+// it replaced (DESIGN.md §7), and BenchmarkFit (internal/costmodel)
+// compares the data-parallel incremental training engine against the
+// retained serial per-group reference (DESIGN.md §8). CI runs every
+// internal benchmark once per push (`make bench-smoke`) so bench code
+// cannot bit-rot.
 package pruner
 
 import (

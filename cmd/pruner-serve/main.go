@@ -45,8 +45,19 @@ func main() {
 		maxTrials = flag.Int("max-trials", 0, "reject jobs requesting more trials (0 = 10x -trials)")
 		fsync     = flag.Bool("fsync", false, "fsync the store after every append")
 		segBytes  = flag.Int64("max-segment-bytes", 0, "store segment rotation threshold (0 = 4MiB)")
+		modelIn   = flag.String("model-in", "", "pretrained cost-model weights (pruner-tune -model-out); enables the matching pretrained-weight methods")
 	)
 	flag.Parse()
+
+	var pretrained *pruner.Pretrained
+	if *modelIn != "" {
+		f, err := os.Open(*modelIn)
+		fatalIf(err)
+		pretrained, err = pruner.LoadModel(f)
+		f.Close()
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "pruner-serve: loaded pretrained %s weights from %s\n", pretrained.Kind, *modelIn)
+	}
 
 	st, err := store.Open(*storeDir, store.Options{Sync: *fsync, MaxSegmentBytes: *segBytes})
 	fatalIf(err)
@@ -61,6 +72,7 @@ func main() {
 		QueueDepth:    *queue,
 		DefaultTrials: *trials,
 		MaxTrials:     *maxTrials,
+		Pretrained:    pretrained,
 	})
 	fatalIf(err)
 

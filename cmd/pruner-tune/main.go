@@ -7,6 +7,8 @@
 //	pruner-tune -net resnet50,vit,bert_tiny -trials 200   # tuned concurrently
 //	pruner-tune -net resnet50 -log run1.jsonl             # persist records
 //	pruner-tune -net resnet50 -resume run1.jsonl          # warm-start from them
+//	pruner-tune -pretrain 300 -model-out pacm.gob         # save offline weights
+//	pruner-tune -method moa-pruner -model-in pacm.gob     # reuse them
 package main
 
 import (
@@ -24,17 +26,19 @@ import (
 
 func main() {
 	var (
-		netName = flag.String("net", "resnet50", "workload, or comma-separated workloads tuned concurrently (see -nets)")
-		devName = flag.String("device", "a100", "device: a100|titanv|orin|k80|t4")
-		method  = flag.String("method", "pruner", "tuning method (pruner|moa-pruner|ansor|metaschedule|roller|...)")
-		trials  = flag.Int("trials", 400, "measurement trials")
-		seed    = flag.Int64("seed", 1, "random seed")
-		maxTask = flag.Int("max-tasks", 0, "tune only the top-N subgraphs (0 = all)")
-		par     = flag.Int("parallelism", 0, "workers per session (0 = all CPUs, 1 = serial); results are seed-stable at any setting")
-		nets    = flag.Bool("nets", false, "list workloads")
-		pre     = flag.Int("pretrain", 0, "pretrain PaCM on a K80 dataset with N schedules/task first (enables moa-pruner)")
-		logPath = flag.String("log", "", "append this run's measurement records to the file (JSON lines)")
-		resume  = flag.String("resume", "", "warm-start from a record log written by -log; already-measured schedules are not re-measured")
+		netName  = flag.String("net", "resnet50", "workload, or comma-separated workloads tuned concurrently (see -nets)")
+		devName  = flag.String("device", "a100", "device: a100|titanv|orin|k80|t4")
+		method   = flag.String("method", "pruner", "tuning method (pruner|moa-pruner|ansor|metaschedule|roller|...)")
+		trials   = flag.Int("trials", 400, "measurement trials")
+		seed     = flag.Int64("seed", 1, "random seed")
+		maxTask  = flag.Int("max-tasks", 0, "tune only the top-N subgraphs (0 = all)")
+		par      = flag.Int("parallelism", 0, "workers per session (0 = all CPUs, 1 = serial); results are seed-stable at any setting")
+		nets     = flag.Bool("nets", false, "list workloads")
+		pre      = flag.Int("pretrain", 0, "pretrain PaCM on a K80 dataset with N schedules/task first (enables moa-pruner)")
+		logPath  = flag.String("log", "", "append this run's measurement records to the file (JSON lines)")
+		resume   = flag.String("resume", "", "warm-start from a record log written by -log; already-measured schedules are not re-measured")
+		modelIn  = flag.String("model-in", "", "load pretrained cost-model weights from a file written by -model-out (skips -pretrain)")
+		modelOut = flag.String("model-out", "", "save the -pretrain weights to the file for reuse by later runs, pruner-serve -model-in, or examples")
 	)
 	flag.Parse()
 
@@ -76,13 +80,37 @@ func main() {
 		MaxTasks:    *maxTask,
 		Parallelism: perSession,
 	}
-	if *pre > 0 {
+	switch {
+	case *modelIn != "" && (*pre > 0 || *modelOut != ""):
+		// Refuse to guess: loading a bundle and pretraining/saving one in
+		// the same run would silently drop whichever the user meant.
+		fatalIf(fmt.Errorf("-model-in conflicts with -pretrain/-model-out (load a bundle or produce one, not both)"))
+	case *modelIn != "":
+		// Saved weights replace -pretrain entirely: the expensive offline
+		// phase runs once per fleet, not once per process.
+		if pruner.PretrainedKind(cfg.Method) == "" {
+			fatalIf(fmt.Errorf("-model-in is unused by method %q (pretrained-weight methods: moa-pruner, pruner-offline, tensetmlp, tlp)", cfg.Method))
+		}
+		f, err := os.Open(*modelIn)
+		fatalIf(err)
+		pretrained, err := pruner.LoadModel(f)
+		f.Close()
+		fatalIf(err)
+		cfg.Pretrained = pretrained
+		fmt.Fprintf(os.Stderr, "loaded pretrained %s weights from %s\n", pretrained.Kind, *modelIn)
+	case *pre > 0:
 		fmt.Fprintln(os.Stderr, "pretraining PaCM on K80 dataset...")
 		ds, err := pruner.GenerateDataset(pruner.K80, []string{"wide_resnet50", "vit", "gpt2"}, *pre, *seed)
 		fatalIf(err)
 		_, pretrained, err := pruner.PretrainModel("pacm", ds, 10, *seed)
 		fatalIf(err)
 		cfg.Pretrained = pretrained
+		if *modelOut != "" {
+			fatalIf(saveModel(*modelOut, pretrained))
+			fmt.Fprintf(os.Stderr, "saved pretrained weights to %s\n", *modelOut)
+		}
+	case *modelOut != "":
+		fatalIf(fmt.Errorf("-model-out needs -pretrain (nothing was trained to save)"))
 	}
 
 	// A resume log is read once; each session decodes it against its own
@@ -176,6 +204,19 @@ func main() {
 	if firstErr != nil {
 		os.Exit(1)
 	}
+}
+
+// saveModel writes the weight bundle to path.
+func saveModel(path string, p *pruner.Pretrained) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pruner.SaveModel(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalIf(err error) {

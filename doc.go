@@ -34,7 +34,14 @@
 // an already-tuned (device, network) from the store without searching.
 // See API.md for the endpoint reference.
 //
+// Offline cost-model weights move between processes as bundles:
+// SaveModel/LoadModel (and the pruner-tune -model-out / -model-in and
+// pruner-serve -model-in flags) let one process pretrain and every
+// later run — including the daemon's pretrained-weight methods — reuse
+// the weights instead of re-pretraining.
+//
 // See DESIGN.md for the system inventory, the simulator-substitution
-// rationale and the store/daemon architecture (§6), and EXPERIMENTS.md
-// for the experiment map and the paper-vs-measured record.
+// rationale, the store/daemon architecture (§6) and the batched
+// inference (§7) and training (§8) engines, and EXPERIMENTS.md for the
+// experiment map and the paper-vs-measured record.
 package pruner

@@ -6,28 +6,81 @@
 // Run with:
 //
 //	go run ./examples/crossplatform
+//
+// The pretrained weights are cached in .cache/ (pruner.SaveModel format,
+// interchangeable with pruner-tune -model-out), so only the first run
+// pays for dataset generation and offline training.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"pruner"
 )
 
-func main() {
+// pretrainPaCM returns the K80-pretrained PaCM weights, loading them from
+// the on-disk cache when a previous process already paid for them.
+func pretrainPaCM() (*pruner.Pretrained, error) {
+	path := filepath.Join(".cache", "crossplatform-pacm.gob")
+	if f, err := os.Open(path); err == nil {
+		pretrained, err := pruner.LoadModel(f)
+		f.Close()
+		if err == nil {
+			fmt.Printf("loaded cached pretrained weights from %s\n", path)
+			return pretrained, nil
+		}
+		fmt.Printf("ignoring unreadable cache %s: %v\n", path, err)
+	}
+
 	// Step 1: offline dataset on the source platform (TenSet's K80).
 	fmt.Println("generating K80 pretraining dataset...")
 	ds, err := pruner.GenerateDataset(pruner.K80,
 		[]string{"wide_resnet50", "vit", "gpt2", "inception_v3"}, 350, 7)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	fmt.Printf("  %d tasks, %d measured programs\n", len(ds.Sets), ds.Size())
 
 	// Step 2: pretrain the Pattern-aware Cost Model on it.
 	fmt.Println("pretraining PaCM on K80 data...")
 	_, pretrained, err := pruner.PretrainModel("pacm", ds, 14, 7)
+	if err != nil {
+		return nil, err
+	}
+	if err := cacheModel(path, pretrained); err != nil {
+		fmt.Printf("not caching weights: %v\n", err)
+	} else {
+		fmt.Printf("cached pretrained weights to %s\n", path)
+	}
+	return pretrained, nil
+}
+
+// cacheModel writes the bundle, closing the file on every path and
+// removing a partial file on failure so the next run does not trip over
+// a truncated cache.
+func cacheModel(path string, p *pruner.Pretrained) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = pruner.SaveModel(f, p)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+	}
+	return err
+}
+
+func main() {
+	pretrained, err := pretrainPaCM()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,53 @@
 package pruner
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
+
+// TestSaveLoadModelRoundtrip pins the model-bundle format behind the
+// -model-out/-model-in CLI flags: kind plus bitwise-identical weights,
+// with architecture-mismatched or unknown bundles rejected.
+func TestSaveLoadModelRoundtrip(t *testing.T) {
+	train, err := GenerateDataset(T4, []string{"dcgan"}, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pre, err := PretrainModel("tlp", train, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, pre); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "tlp" || len(got.Weights) != len(pre.Weights) {
+		t.Fatalf("bundle mangled: kind %q, %d weights", got.Kind, len(got.Weights))
+	}
+	for i, w := range pre.Weights {
+		for j := range w.Data {
+			if w.Data[j] != got.Weights[i].Data[j] {
+				t.Fatalf("weight %d[%d] differs after roundtrip", i, j)
+			}
+		}
+	}
+
+	if err := SaveModel(&buf, nil); err == nil {
+		t.Error("nil bundle should not save")
+	}
+	if err := SaveModel(&buf, &Pretrained{Kind: "xgboost", Weights: pre.Weights}); err == nil {
+		t.Error("unknown kind should not save")
+	}
+	if _, err := LoadModel(bytes.NewReader([]byte("not a bundle"))); err == nil {
+		t.Error("garbage bundle should not load")
+	}
+}
 
 func TestLoadNetworkAndNames(t *testing.T) {
 	names := NetworkNames()

@@ -21,18 +21,26 @@ type TenSetMLP struct {
 	seed  int64
 	pool  *parallel.Pool
 	memo  *schedule.Memo
+	tr    *trainer
 }
 
 // NewTenSetMLP builds the model with the given init seed.
 func NewTenSetMLP(seed int64) *TenSetMLP {
+	m := newTenSetMLPArch(seed)
+	m.adam = nn.NewAdam(m.Params(), 7e-4)
+	return m
+}
+
+// newTenSetMLPArch builds the architecture alone — what training
+// replicas need; they alias the live weights and never step, so they
+// skip the optimiser's moment buffers.
+func newTenSetMLPArch(seed int64) *TenSetMLP {
 	rng := rand.New(rand.NewSource(seed))
-	m := &TenSetMLP{
+	return &TenSetMLP{
 		embed: nn.NewMLP(rng, features.StmtDim, 128, 128),
 		head:  nn.NewMLP(rng, 128, 64, 1),
 		seed:  seed,
 	}
-	m.adam = nn.NewAdam(m.Params(), 7e-4)
-	return m
 }
 
 // Name implements Model.
@@ -54,16 +62,33 @@ func (m *TenSetMLP) SetMemo(mm *schedule.Memo) { m.memo = mm }
 
 func (m *TenSetMLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	rows := nn.FromRows(features.Statement(lw))
-	emb := nn.ReLU(m.embed.Forward(rows))
+	emb := m.embed.ForwardReLU(rows)
 	return m.head.Forward(nn.SumRows(emb))
 }
 
-func (m *TenSetMLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
-	outs := make([]*nn.Tensor, len(schs))
-	for i, s := range schs {
-		outs[i] = m.forwardOne(schedule.Lower(t, s))
+// forward is the batched training forward: the whole group's statement
+// rows run through the embedding in one fused pair of GEMMs and pool via
+// a segmented reduction — the training-path mirror of the batched
+// inference engine (batch.go). Row-wise ops and the order-preserving
+// SegmentSumRows keep the forward values bitwise identical to the
+// per-candidate composition forwardOne computes.
+func (m *TenSetMLP) forward(lws []*schedule.Lowered) *nn.Tensor {
+	rows, lens := statementBatch(lws)
+	emb := m.embed.ForwardReLU(nn.FromRows(rows))
+	return m.head.Forward(nn.SegmentSumRows(emb, lens))
+}
+
+// trainer lazily builds the model's parallel training state: replicas of
+// the same architecture and seed whose weights alias the live model.
+func (m *TenSetMLP) trainer() *trainer {
+	if m.tr == nil {
+		m.tr = newTrainer(m.Params(), func() *replica {
+			r := newTenSetMLPArch(m.seed)
+			nn.AliasParams(r.Params(), m.Params())
+			return &replica{forward: r.forward, params: r.Params()}
+		})
 	}
-	return nn.ConcatRows(outs...)
+	return m.tr
 }
 
 // Predict implements Model: candidates run through the batched no-tape
@@ -73,9 +98,10 @@ func (m *TenSetMLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
 	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
-// Fit implements Model.
+// Fit implements Model: training runs on the data-parallel engine over
+// the session pool (rankFit, model.go).
 func (m *TenSetMLP) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
 }
 
 // PaCM is the paper's Pattern-aware Cost Model: a multi-branch network
@@ -95,6 +121,7 @@ type PaCM struct {
 	seed      int64
 	pool      *parallel.Pool
 	memo      *schedule.Memo
+	tr        *trainer
 }
 
 const (
@@ -114,6 +141,13 @@ func NewPaCMAblated(seed int64, useStatement, useDataflow bool) *PaCM {
 }
 
 func newPaCM(seed int64, useStmt, useDf bool) *PaCM {
+	m := newPaCMArch(seed, useStmt, useDf)
+	m.adam = nn.NewAdam(m.Params(), 7e-4)
+	return m
+}
+
+// newPaCMArch builds the architecture alone (see newTenSetMLPArch).
+func newPaCMArch(seed int64, useStmt, useDf bool) *PaCM {
 	rng := rand.New(rand.NewSource(seed))
 	m := &PaCM{
 		UseStatement: useStmt,
@@ -131,7 +165,6 @@ func newPaCM(seed int64, useStmt, useDf bool) *PaCM {
 		width += pacmDfDim
 	}
 	m.head = nn.NewMLP(rng, width, 64, 1)
-	m.adam = nn.NewAdam(m.Params(), 7e-4)
 	return m
 }
 
@@ -170,7 +203,7 @@ func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	var parts *nn.Tensor
 	if m.UseStatement {
 		rows := nn.FromRows(features.Statement(lw))
-		emb := nn.ReLU(m.stmtEmbed.Forward(rows))
+		emb := m.stmtEmbed.ForwardReLU(rows)
 		parts = nn.SumRows(emb)
 	}
 	if m.UseDataflow {
@@ -186,12 +219,47 @@ func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	return m.head.Forward(parts)
 }
 
-func (m *PaCM) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
-	outs := make([]*nn.Tensor, len(schs))
-	for i, s := range schs {
-		outs[i] = m.forwardOne(schedule.Lower(t, s))
+// forward is the batched training forward (see TenSetMLP.forward): the
+// statement branch pools fused embeddings with a segmented sum; the
+// dataflow branch deduplicates the zero-padded rows, projects each
+// distinct row once, and runs the gradient-aware segment attention.
+func (m *PaCM) forward(lws []*schedule.Lowered) *nn.Tensor {
+	var parts *nn.Tensor
+	if m.UseStatement {
+		rows, lens := statementBatch(lws)
+		emb := m.stmtEmbed.ForwardReLU(nn.FromRows(rows))
+		parts = nn.SegmentSumRows(emb, lens)
 	}
-	return nn.ConcatRows(outs...)
+	if m.UseDataflow {
+		lens := make([]int, len(lws))
+		rows := make([][]float64, 0, len(lws)*features.DataflowSeq)
+		for i, lw := range lws {
+			rows = append(rows, features.Dataflow(lw)...)
+			lens[i] = features.DataflowSeq
+		}
+		uniq, idx := nn.DedupRows(rows)
+		tokens := nn.Tanh(m.dfProj.Forward(nn.FromRows(uniq)))
+		ctx := nn.SegmentMeanRows(m.dfAttn.ForwardSegmentsDedup(tokens, idx, lens), lens)
+		if parts == nil {
+			parts = ctx
+		} else {
+			parts = nn.ConcatCols(parts, ctx)
+		}
+	}
+	return m.head.Forward(parts)
+}
+
+// trainer lazily builds the model's parallel training state; replicas
+// reproduce the branch ablation flags so their head widths match.
+func (m *PaCM) trainer() *trainer {
+	if m.tr == nil {
+		m.tr = newTrainer(m.Params(), func() *replica {
+			r := newPaCMArch(m.seed, m.UseStatement, m.UseDataflow)
+			nn.AliasParams(r.Params(), m.Params())
+			return &replica{forward: r.forward, params: r.Params()}
+		})
+	}
+	return m.tr
 }
 
 // Predict implements Model: candidates run through the batched no-tape
@@ -201,9 +269,10 @@ func (m *PaCM) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
 	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
-// Fit implements Model.
+// Fit implements Model: training runs on the data-parallel engine over
+// the session pool (rankFit, model.go).
 func (m *PaCM) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
 }
 
 // TLP is the schedule-primitive transformer baseline. Its tokens are
@@ -218,10 +287,20 @@ type TLP struct {
 	seed int64
 	pool *parallel.Pool
 	memo *schedule.Memo
+	tr   *trainer
 }
 
 // NewTLP builds the model.
 func NewTLP(seed int64) *TLP {
+	m := newTLPArch(seed)
+	// TLP trains with a higher learning rate on sparse features; this is
+	// part of why online fine-tuning can destabilise it.
+	m.adam = nn.NewAdam(m.Params(), 1.2e-3)
+	return m
+}
+
+// newTLPArch builds the architecture alone (see newTenSetMLPArch).
+func newTLPArch(seed int64) *TLP {
 	rng := rand.New(rand.NewSource(seed))
 	m := &TLP{
 		proj: nn.NewLinear(rng, features.PrimDim, features.PrimDim),
@@ -229,9 +308,6 @@ func NewTLP(seed int64) *TLP {
 		seed: seed,
 	}
 	m.head = nn.NewMLP(rng, features.PrimDim, 64, 1)
-	// TLP trains with a higher learning rate on sparse features; this is
-	// part of why online fine-tuning can destabilise it.
-	m.adam = nn.NewAdam(m.Params(), 1.2e-3)
 	return m
 }
 
@@ -261,12 +337,35 @@ func (m *TLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	return m.head.Forward(nn.MeanRows(x))
 }
 
-func (m *TLP) forward(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor {
-	outs := make([]*nn.Tensor, len(schs))
-	for i, s := range schs {
-		outs[i] = m.forwardOne(schedule.Lower(t, s))
+// forward is the batched training forward: primitive tokens are
+// near-constant one-hots that repeat heavily across a group, so the
+// projection and the attention's Q/K/V run once per distinct row
+// (gradient-aware dedup) and the per-candidate score means fall out of a
+// segmented reduction.
+func (m *TLP) forward(lws []*schedule.Lowered) *nn.Tensor {
+	lens := make([]int, len(lws))
+	rows := make([][]float64, 0, len(lws)*features.PrimSeq)
+	for i, lw := range lws {
+		r := features.Primitives(lw)
+		rows = append(rows, r...)
+		lens[i] = len(r)
 	}
-	return nn.ConcatRows(outs...)
+	uniq, idx := nn.DedupRows(rows)
+	tokens := m.proj.Forward(nn.FromRows(uniq))
+	x := m.attn.ForwardSegmentsDedup(tokens, idx, lens)
+	return m.head.Forward(nn.SegmentMeanRows(x, lens))
+}
+
+// trainer lazily builds the model's parallel training state.
+func (m *TLP) trainer() *trainer {
+	if m.tr == nil {
+		m.tr = newTrainer(m.Params(), func() *replica {
+			r := newTLPArch(m.seed)
+			nn.AliasParams(r.Params(), m.Params())
+			return &replica{forward: r.forward, params: r.Params()}
+		})
+	}
+	return m.tr
 }
 
 // Predict implements Model: candidates run through the batched no-tape
@@ -276,9 +375,10 @@ func (m *TLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
 	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
 }
 
-// Fit implements Model.
+// Fit implements Model: training runs on the data-parallel engine over
+// the session pool (rankFit, model.go).
 func (m *TLP) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.forward, m.seed)
+	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
 }
 
 // PoolUser is implemented by models whose batched inference can run on a

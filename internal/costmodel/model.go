@@ -12,6 +12,7 @@ import (
 
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 )
 
@@ -26,22 +27,39 @@ type Record struct {
 // FitOptions configures one training call.
 type FitOptions struct {
 	Epochs int
-	LR     float64
-	Seed   int64
+	// LR overrides the model's constructed learning rate for the duration
+	// of this fit; 0 keeps the model's own rate (e.g. TLP's deliberately
+	// higher 1.2e-3).
+	LR   float64
+	Seed int64
 	// MaxGroup bounds samples per task group per epoch (ranking lists get
-	// quadratic in group size); 0 means no bound.
+	// quadratic in group size); 0 selects the default bound of 128,
+	// negative disables the bound entirely.
 	MaxGroup int
+	// MacroBatch is the number of task groups whose gradients are averaged
+	// into one optimiser step by the parallel trainer; 0 selects the
+	// default of 8. Groups within a macro-batch shard across the session
+	// pool; a fixed size keeps the stepping schedule — and the fitted
+	// parameters — independent of the worker count.
+	MacroBatch int
+	// Cache, when non-nil, memoizes the lowering (and, through Lowered's
+	// feature cache, the featurization) of training records across epochs
+	// and Fit calls. The tuner passes one session-scoped cache: records
+	// are append-only and features deterministic, so each record is
+	// lowered and featurized once per session instead of once per
+	// epoch x round.
+	Cache *FitCache
 }
 
 func (o FitOptions) withDefaults() FitOptions {
 	if o.Epochs == 0 {
 		o.Epochs = 15
 	}
-	if o.LR == 0 {
-		o.LR = 7e-4
-	}
 	if o.MaxGroup == 0 {
 		o.MaxGroup = 128
+	}
+	if o.MacroBatch <= 0 {
+		o.MacroBatch = 8
 	}
 	return o
 }
@@ -49,9 +67,14 @@ func (o FitOptions) withDefaults() FitOptions {
 // FitReport summarises one training call for logging and simulated-clock
 // accounting.
 type FitReport struct {
-	Loss         float64 // mean loss of the final epoch
-	Samples      int     // distinct training samples
-	SampleVisits int     // samples x epochs actually processed
+	// Loss is the mean loss of the final epoch, or NaN when no batch
+	// trained (Batches == 0) — distinguishing "trained to zero loss" from
+	// "every group was degenerate and training never ran".
+	Loss         float64
+	Samples      int // distinct training samples
+	SampleVisits int // samples x epochs actually processed
+	// Batches counts the ranking batches processed across all epochs.
+	Batches int
 }
 
 // Costs are per-model multipliers over the platform's base CostParams,
@@ -121,55 +144,155 @@ func groupByTask(recs []Record) []group {
 	return groups
 }
 
-// forwardFn scores one task's schedules, building a gradient graph when
-// the model is training.
-type forwardFn func(t *ir.Task, schs []*schedule.Schedule) *nn.Tensor
+// forwardFn scores a batch of lowered programs of one task, building a
+// gradient graph when the model is training.
+type forwardFn func(lws []*schedule.Lowered) *nn.Tensor
 
-// rankFit is the shared LambdaRank training loop over task groups.
-func rankFit(recs []Record, opt FitOptions, adam *nn.Adam, forward forwardFn, seed int64) FitReport {
+// trainBatch is one group's ready-to-train slice of an epoch: the
+// (possibly subsampled) records plus their relevance labels. Batches are
+// composed on the serial path — every random draw happens there — and
+// only then fanned out to workers.
+type trainBatch struct {
+	task *ir.Task
+	recs []Record
+	rel  []float64
+}
+
+// epochBatches composes one epoch's training batches in the shuffled
+// group order, consuming rng exactly like the serial reference loop:
+// one groups-shuffle, then one subsample-shuffle per over-size group.
+func epochBatches(groups []group, opt FitOptions, rng *rand.Rand) []trainBatch {
+	rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+	var batches []trainBatch
+	for _, g := range groups {
+		recs := g.recs
+		if opt.MaxGroup > 0 && len(recs) > opt.MaxGroup {
+			sub := make([]Record, len(recs))
+			copy(sub, recs)
+			rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+			recs = sub[:opt.MaxGroup]
+		}
+		if len(recs) < 2 {
+			continue
+		}
+		lats := make([]float64, len(recs))
+		for i, r := range recs {
+			lats[i] = r.Latency
+		}
+		batches = append(batches, trainBatch{task: g.task, recs: recs, rel: Relevances(lats)})
+	}
+	return batches
+}
+
+// rankFit is the shared LambdaRank training engine: each epoch's task
+// groups are sharded across the session pool in fixed-size macro-batches.
+// Workers run one forward/backward per group on an architecture replica
+// (weights aliased to the live model, gradients into the group's private
+// slot buffer); the slot gradients are then averaged in fixed group order
+// and applied with one Adam step per macro-batch. Because every random
+// draw stays on the serial path and the reduction order is fixed, the
+// fitted parameters are bitwise identical at any worker count — the same
+// bar the batched inference engine holds (TestFitDeterministicAcrossWorkers).
+func rankFit(recs []Record, opt FitOptions, adam *nn.Adam, pool *parallel.Pool, seed int64, tr *trainer) FitReport {
 	opt = opt.withDefaults()
 	groups := groupByTask(recs)
+	report := FitReport{Loss: math.NaN()}
 	if len(groups) == 0 {
-		return FitReport{}
+		return report
 	}
+	if pool == nil {
+		// Same fallback as predictBatched: fits outside a tuning session
+		// (facade pretraining) still use the machine, not one goroutine.
+		pool = parallel.Default()
+	}
+	defer func(prev float64) { adam.LR = prev }(adam.SwapLR(opt.LR))
 	rng := rand.New(rand.NewSource(seed ^ opt.Seed))
-	var report FitReport
+	for _, g := range groups {
+		report.Samples += len(g.recs)
+	}
+	tr.ensureSlots(opt.MacroBatch)
+	losses := make([]float64, opt.MacroBatch)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		batches := epochBatches(groups, opt, rng)
+		var epochLoss float64
+		for lo := 0; lo < len(batches); lo += opt.MacroBatch {
+			hi := lo + opt.MacroBatch
+			if hi > len(batches) {
+				hi = len(batches)
+			}
+			chunk := batches[lo:hi]
+			pool.ForEach(len(chunk), func(j int) {
+				b := chunk[j]
+				memo := opt.Cache.memo(b.task)
+				lws := make([]*schedule.Lowered, len(b.recs))
+				for i, r := range b.recs {
+					lws[i] = memo.Lower(b.task, r.Sched)
+				}
+				slot := tr.slot(j)
+				slot.Zero()
+				rep := tr.checkout()
+				slot.Bind(rep.params)
+				loss := nn.LambdaRankLoss(rep.forward(lws), b.rel)
+				nn.Backward(loss)
+				tr.checkin(rep)
+				losses[j] = loss.Data[0]
+			})
+			// Serial reduction in fixed group order, then one step over the
+			// averaged macro-batch gradient (averaging keeps the per-step
+			// magnitude comparable to a single-group step, so MacroBatch=1
+			// reproduces the per-group reference bitwise).
+			adam.ZeroGrad()
+			scale := 1 / float64(len(chunk))
+			for j := range chunk {
+				tr.slot(j).AddInto(tr.params, scale)
+				epochLoss += losses[j]
+				report.SampleVisits += len(chunk[j].recs)
+			}
+			adam.Step()
+			report.Batches += len(chunk)
+		}
+		if len(batches) > 0 {
+			report.Loss = epochLoss / float64(len(batches))
+		}
+	}
+	return report
+}
+
+// rankFitReference is the pre-engine serial loop — one optimiser step per
+// task group, forward and backward on the live parameters — retained as
+// the ground truth for the trainer's equivalence tests and the
+// BenchmarkFit before/after comparison.
+func rankFitReference(recs []Record, opt FitOptions, adam *nn.Adam, forward forwardFn, seed int64) FitReport {
+	opt = opt.withDefaults()
+	groups := groupByTask(recs)
+	report := FitReport{Loss: math.NaN()}
+	if len(groups) == 0 {
+		return report
+	}
+	defer func(prev float64) { adam.LR = prev }(adam.SwapLR(opt.LR))
+	rng := rand.New(rand.NewSource(seed ^ opt.Seed))
 	for _, g := range groups {
 		report.Samples += len(g.recs)
 	}
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
-		rng.Shuffle(len(groups), func(i, j int) { groups[i], groups[j] = groups[j], groups[i] })
+		batches := epochBatches(groups, opt, rng)
 		var epochLoss float64
-		var batches int
-		for _, g := range groups {
-			recs := g.recs
-			if opt.MaxGroup > 0 && len(recs) > opt.MaxGroup {
-				sub := make([]Record, len(recs))
-				copy(sub, recs)
-				rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
-				recs = sub[:opt.MaxGroup]
+		for _, b := range batches {
+			memo := opt.Cache.memo(b.task)
+			lws := make([]*schedule.Lowered, len(b.recs))
+			for i, r := range b.recs {
+				lws[i] = memo.Lower(b.task, r.Sched)
 			}
-			if len(recs) < 2 {
-				continue
-			}
-			schs := make([]*schedule.Schedule, len(recs))
-			lats := make([]float64, len(recs))
-			for i, r := range recs {
-				schs[i] = r.Sched
-				lats[i] = r.Latency
-			}
-			rel := Relevances(lats)
 			adam.ZeroGrad()
-			scores := forward(g.task, schs)
-			loss := nn.LambdaRankLoss(scores, rel)
+			loss := nn.LambdaRankLoss(forward(lws), b.rel)
 			nn.Backward(loss)
 			adam.Step()
 			epochLoss += loss.Data[0]
-			batches++
-			report.SampleVisits += len(recs)
+			report.Batches++
+			report.SampleVisits += len(b.recs)
 		}
-		if batches > 0 {
-			report.Loss = epochLoss / float64(batches)
+		if len(batches) > 0 {
+			report.Loss = epochLoss / float64(len(batches))
 		}
 	}
 	return report

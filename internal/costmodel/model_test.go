@@ -117,7 +117,11 @@ func TestPredictParallelMatchesSerial(t *testing.T) {
 	m.SetPool(parallel.New(1))
 	b := m.Predict(task, schs) // forced-serial session pool
 	// Cross-check both against the batched training-mode forward.
-	batched := m.forward(task, schs)
+	lws := make([]*schedule.Lowered, len(schs))
+	for i, s := range schs {
+		lws[i] = schedule.Lower(task, s)
+	}
+	batched := m.forward(lws)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("parallel vs serial predictions differ at %d: %g vs %g", i, a[i], b[i])

@@ -1,0 +1,221 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/parallel"
+	"pruner/internal/schedule"
+	"pruner/internal/simulator"
+)
+
+// multiTaskRecords builds a measured record set over n distinct tasks
+// (perTask records each), the shape the parallel trainer shards.
+func multiTaskRecords(t testing.TB, n, perTask int, seed int64) []Record {
+	t.Helper()
+	sizes := []int{128, 192, 256, 320, 384, 448, 512, 640}
+	var recs []Record
+	for i := 0; i < n; i++ {
+		task := ir.NewMatMul(sizes[i%len(sizes)], 256, 64*(1+i%4), ir.FP32, i%2)
+		g := schedule.NewGenerator(task)
+		g.MaxSharedWords = device.T4.SharedPerBlock
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		sim := simulator.New(device.T4)
+		schs := g.InitPopulation(rng, perTask)
+		for j, r := range sim.Measure(task, schs, rng) {
+			if r.Valid {
+				recs = append(recs, Record{Task: task, Sched: schs[j], Latency: r.Latency})
+			}
+		}
+	}
+	if len(recs) < n*perTask/2 {
+		t.Fatalf("too few valid records: %d", len(recs))
+	}
+	return recs
+}
+
+// paramsEqual asserts two models' parameters are bitwise identical.
+func paramsEqual(t *testing.T, label string, a, b Model) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: param count %d vs %d", label, len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatalf("%s: param %d[%d] differs: %g vs %g",
+					label, i, j, pa[i].Data[j], pb[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers is the training engine's contract
+// (the same bar TestPredictBatchedMatchesReference holds for inference):
+// fitted parameters are bitwise identical whether the fit runs serially
+// or sharded over 8 workers, because group order, subsampling draws and
+// the gradient reduction all live on the serial path.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	recs := multiTaskRecords(t, 6, 24, 1)
+	builders := map[string]func() Model{
+		"tensetmlp": func() Model { return NewTenSetMLP(5) },
+		"pacm":      func() Model { return NewPaCM(6) },
+		"tlp":       func() Model { return NewTLP(7) },
+	}
+	for name, build := range builders {
+		serial, wide := build(), build()
+		serial.(PoolUser).SetPool(parallel.New(1))
+		wide.(PoolUser).SetPool(parallel.New(8))
+		repS := serial.Fit(recs, FitOptions{Epochs: 3, Seed: 2})
+		repW := wide.Fit(recs, FitOptions{Epochs: 3, Seed: 2})
+		if repS != repW {
+			t.Fatalf("%s: fit reports differ: %+v vs %+v", name, repS, repW)
+		}
+		paramsEqual(t, name+" P=1 vs P=8", serial, wide)
+	}
+}
+
+// TestFitMacroBatchOneMatchesReference pins the engine to the pre-engine
+// serial loop: with MacroBatch=1 the averaged-gradient step degenerates
+// to one step per group, and the parallel trainer must reproduce the
+// reference's parameters bitwise even on a wide pool.
+func TestFitMacroBatchOneMatchesReference(t *testing.T) {
+	recs := multiTaskRecords(t, 4, 20, 3)
+	opt := FitOptions{Epochs: 3, Seed: 4, MacroBatch: 1}
+
+	engine := NewPaCM(9)
+	engine.SetPool(parallel.New(8))
+	repE := engine.Fit(recs, opt)
+
+	ref := NewPaCM(9)
+	repR := rankFitReference(recs, opt, ref.adam, ref.forward, ref.seed)
+
+	if repE != repR {
+		t.Fatalf("fit reports differ: engine %+v vs reference %+v", repE, repR)
+	}
+	paramsEqual(t, "engine(MacroBatch=1) vs reference", engine, ref)
+}
+
+// TestFitAppliesLR is the FitOptions.LR regression test: the option used
+// to be resolved and then silently dropped, so every fit ran at the
+// model's constructed rate. Two fits that differ only in LR must now
+// diverge, and LR=0 must keep the constructed rate.
+func TestFitAppliesLR(t *testing.T) {
+	recs := multiTaskRecords(t, 2, 20, 5)
+	fit := func(lr float64) *TLP {
+		m := NewTLP(11)
+		m.Fit(recs, FitOptions{Epochs: 2, Seed: 6, LR: lr})
+		return m
+	}
+	slow, fast := fit(1e-5), fit(5e-3)
+	same := true
+	for i, p := range slow.Params() {
+		for j := range p.Data {
+			if p.Data[j] != fast.Params()[i].Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("fits with LR=1e-5 and LR=5e-3 produced identical parameters: FitOptions.LR is still ignored")
+	}
+
+	// LR=0 keeps the model's constructed rate (TLP's 1.2e-3), bitwise.
+	paramsEqual(t, "LR=0 vs explicit constructed rate", fit(0), fit(1.2e-3))
+
+	// The override must not leak past the fit.
+	m := fit(5e-3)
+	if m.adam.LR != 1.2e-3 {
+		t.Fatalf("LR override leaked: adam.LR = %g after fit", m.adam.LR)
+	}
+}
+
+// TestFitMaxGroupUnbounded pins the documented unbounded mode: negative
+// MaxGroup trains over-128-sample groups in full, while the 0 default
+// still subsamples them to 128.
+func TestFitMaxGroupUnbounded(t *testing.T) {
+	recs := multiTaskRecords(t, 1, 200, 7)
+	if len(recs) <= 128 {
+		t.Fatalf("need a group larger than the default bound, got %d", len(recs))
+	}
+	m := NewTenSetMLP(13)
+	rep := m.Fit(recs, FitOptions{Epochs: 1, Seed: 8, MaxGroup: -1})
+	if rep.SampleVisits != len(recs) {
+		t.Fatalf("unbounded fit visited %d of %d samples", rep.SampleVisits, len(recs))
+	}
+	rep = m.Fit(recs, FitOptions{Epochs: 1, Seed: 8})
+	if rep.SampleVisits != 128 {
+		t.Fatalf("default fit should subsample to 128, visited %d", rep.SampleVisits)
+	}
+}
+
+// TestFitReportBatches pins the "trained to zero" vs "never trained"
+// distinction: degenerate record sets report zero batches and a NaN
+// loss instead of a fake 0.
+func TestFitReportBatches(t *testing.T) {
+	m := NewTenSetMLP(15)
+
+	rep := m.Fit(nil, FitOptions{Epochs: 2, Seed: 1})
+	if rep.Batches != 0 || !math.IsNaN(rep.Loss) {
+		t.Fatalf("empty fit: want Batches=0 Loss=NaN, got %+v", rep)
+	}
+
+	// Every group below the ranking minimum (one record each): training
+	// never runs, and the report must say so.
+	recs := multiTaskRecords(t, 3, 6, 9)
+	seen := map[string]bool{}
+	var singles []Record
+	for _, r := range recs {
+		if !seen[r.Task.ID] {
+			seen[r.Task.ID] = true
+			singles = append(singles, r)
+		}
+	}
+	rep = m.Fit(singles, FitOptions{Epochs: 2, Seed: 1})
+	if rep.Batches != 0 || !math.IsNaN(rep.Loss) || rep.SampleVisits != 0 {
+		t.Fatalf("degenerate fit: want Batches=0 Loss=NaN Visits=0, got %+v", rep)
+	}
+	if rep.Samples != len(singles) {
+		t.Fatalf("degenerate fit should still count distinct samples: %+v", rep)
+	}
+
+	// A real fit reports its batch count (epochs x trainable groups).
+	rep = m.Fit(recs, FitOptions{Epochs: 2, Seed: 1})
+	if rep.Batches != 2*3 {
+		t.Fatalf("want 6 batches (2 epochs x 3 groups), got %+v", rep)
+	}
+	if math.IsNaN(rep.Loss) {
+		t.Fatalf("trained fit must report a finite loss: %+v", rep)
+	}
+}
+
+// TestFitFeatureCacheLowersOnce pins the session feature cache: across
+// epochs and repeated Fit calls (the tuner's rounds), each distinct
+// record is lowered — and therefore featurized — exactly once.
+func TestFitFeatureCacheLowersOnce(t *testing.T) {
+	recs := multiTaskRecords(t, 3, 16, 11)
+	distinct := map[string]bool{}
+	for _, r := range recs {
+		distinct[r.Task.ID+"|"+r.Sched.Fingerprint()] = true
+	}
+
+	cache := NewFitCache()
+	m := NewPaCM(17)
+	m.SetPool(parallel.New(4))
+	opt := FitOptions{Epochs: 4, Seed: 12, Cache: cache}
+	m.Fit(recs, opt)      // round 1
+	m.Fit(recs, opt)      // round 2: everything already cached
+	m.Fit(recs[:10], opt) // round 3: subset, still cached
+
+	if got := cache.Lowerings(); got != len(distinct) {
+		t.Fatalf("lowered %d programs across 3 fits x 4 epochs, want one per distinct record (%d)",
+			got, len(distinct))
+	}
+	if cache.Len() != len(distinct) {
+		t.Fatalf("cache holds %d programs, want %d", cache.Len(), len(distinct))
+	}
+}

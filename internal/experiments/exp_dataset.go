@@ -174,7 +174,10 @@ func Fig15(cfg Config) error {
 		h.printf("%-10d", sub.Size())
 		for _, kind := range []string{"tensetmlp", "tlp", "pacm"} {
 			m := newModel(kind, cfg.Seed+int64(per)+7)
-			m.Fit(sub.Records(), costmodel.FitOptions{Epochs: h.sc.pretrainEpochs, Seed: cfg.Seed, MaxGroup: 128})
+			if pu, ok := m.(costmodel.PoolUser); ok {
+				pu.SetPool(h.pool)
+			}
+			m.Fit(sub.Records(), costmodel.FitOptions{Epochs: h.sc.pretrainEpochs, Seed: cfg.Seed, MaxGroup: 128, Cache: costmodel.NewFitCache()})
 			h.printf(" %10.3f", test.TopK(1, func(s *dataset.TaskSet) []float64 { return predictSet(m, s) }))
 		}
 		h.printf("\n")
@@ -195,7 +198,10 @@ func Table11(cfg Config) error {
 		test := h.testDataset(dev)
 		for _, kind := range []string{"tensetmlp", "tlp", "pacm"} {
 			m := newModel(kind, cfg.Seed+13)
-			m.Fit(train.Records(), costmodel.FitOptions{Epochs: h.sc.pretrainEpochs, Seed: cfg.Seed, MaxGroup: 128})
+			if pu, ok := m.(costmodel.PoolUser); ok {
+				pu.SetPool(h.pool)
+			}
+			m.Fit(train.Records(), costmodel.FitOptions{Epochs: h.sc.pretrainEpochs, Seed: cfg.Seed, MaxGroup: 128, Cache: costmodel.NewFitCache()})
 			score := func(s *dataset.TaskSet) []float64 { return predictSet(m, s) }
 			r := rows[kind]
 			if dev == device.T4 {

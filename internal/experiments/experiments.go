@@ -250,8 +250,14 @@ func (h *harness) pretrained(kind string, dev *device.Device) []*nn.Tensor {
 		}
 	}
 	ds := h.offlineDataset(dev)
+	if pu, ok := m.(costmodel.PoolUser); ok {
+		// Offline pretraining shards its task groups over the suite pool;
+		// the fitted weights are identical at any worker count.
+		pu.SetPool(h.pool)
+	}
 	m.Fit(ds.Records(), costmodel.FitOptions{
 		Epochs: h.sc.pretrainEpochs, Seed: h.cfg.Seed, MaxGroup: 128,
+		Cache: costmodel.NewFitCache(), // once-per-record features across epochs
 	})
 	w := tuner.SnapshotParams(m)
 	preCache[key] = w

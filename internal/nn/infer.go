@@ -290,14 +290,26 @@ func DedupRows(rows [][]float64) (uniq [][]float64, idx []int) {
 }
 
 // GatherRows expands a deduplicated tensor: row i of the result is src
-// row idx[i]. Inference-only (src must not carry gradients).
+// row idx[i]. It is autograd-complete — the backward scatter-accumulates
+// each output row's gradient into its representative (in ascending output
+// row order, so gradients are deterministic) — which is what lets the
+// training forwards reuse the inference engine's dedup trick: projecting
+// a distinct row once and gathering is bitwise identical in the forward
+// and sums the duplicates' gradients in the backward.
 func GatherRows(src *Tensor, idx []int) *Tensor {
-	if src.requiresGrad {
-		panic("nn: GatherRows of a gradient-carrying tensor")
-	}
 	out := New(len(idx), src.C)
 	for i, j := range idx {
 		copy(out.Data[i*src.C:(i+1)*src.C], src.Data[j*src.C:(j+1)*src.C])
+	}
+	if needsGrad(src) {
+		out.enableGrad(func() {
+			for i, j := range idx {
+				base, obase := j*src.C, i*src.C
+				for c := 0; c < src.C; c++ {
+					addGrad(src, base+c, out.Grad[obase+c])
+				}
+			}
+		}, src)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -20,9 +21,10 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	return &Linear{W: Param(rng, in, out), B: ZeroParam(1, out)}
 }
 
-// Forward applies the layer to an (N x in) batch.
+// Forward applies the layer to an (N x in) batch through the fused
+// affine op — one tape node, bitwise identical to AddBias(MatMul(x, W)).
 func (l *Linear) Forward(x *Tensor) *Tensor {
-	return AddBias(MatMul(x, l.W), l.B)
+	return Affine(x, l.W, l.B, false)
 }
 
 // Params implements Module.
@@ -67,13 +69,21 @@ func NewMLP(rng *rand.Rand, widths ...int) *MLP {
 	return m
 }
 
-// Forward applies ReLU between layers and no activation after the last.
+// Forward applies ReLU between layers and no activation after the last,
+// each layer as one fused affine node.
 func (m *MLP) Forward(x *Tensor) *Tensor {
 	for i, l := range m.Layers {
-		x = l.Forward(x)
-		if i+1 < len(m.Layers) {
-			x = ReLU(x)
-		}
+		x = Affine(x, l.W, l.B, i+1 < len(m.Layers))
+	}
+	return x
+}
+
+// ForwardReLU applies ReLU after every layer including the last — the
+// ReLU(MLP.Forward(x)) composition the cost models use for embeddings,
+// with the final activation fused instead of a separate tape node.
+func (m *MLP) ForwardReLU(x *Tensor) *Tensor {
+	for _, l := range m.Layers {
+		x = Affine(x, l.W, l.B, true)
 	}
 	return x
 }
@@ -117,6 +127,56 @@ func (a *SelfAttention) Forward(x *Tensor) *Tensor {
 	scores := Scale(MatMul(q, Transpose(k)), 1/math.Sqrt(float64(a.dim)))
 	attn := SoftmaxRows(scores)
 	ctx := a.O.Forward(MatMul(attn, v))
+	return a.Norm.Forward(Add(x, ctx))
+}
+
+// ForwardSegments applies the block independently to contiguous row
+// segments of x (lens summing to x.R), with gradients: the Q/K/V/O
+// projections and the residual layer norm run batched across all
+// segments — one GEMM each instead of one per segment — while the score
+// matmuls and softmax, the only row-mixing parts, stay segment-local.
+// Projections and layer norm are row-wise, so each segment's output is
+// bitwise identical to Forward over that segment alone; this is the
+// training-path mirror of FrozenAttention.ForwardSegments.
+func (a *SelfAttention) ForwardSegments(x *Tensor, lens []int) *Tensor {
+	return a.forwardSegments(x, a.Q.Forward(x), a.K.Forward(x), a.V.Forward(x), lens)
+}
+
+// ForwardSegmentsDedup is ForwardSegments over a token sequence in
+// deduplicated form (see DedupRows): uniq holds the projected-input
+// candidates' distinct token rows and idx maps each expanded row to its
+// representative. Q/K/V run once per distinct row and are gathered back
+// with gradient-aware GatherRows, so training on batches whose tokens
+// repeat heavily — TLP's near-constant one-hots, PaCM's zero-padded
+// dataflow rows — skips most projection work in the forward and the
+// backward both.
+func (a *SelfAttention) ForwardSegmentsDedup(uniq *Tensor, idx []int, lens []int) *Tensor {
+	return a.forwardSegments(
+		GatherRows(uniq, idx),
+		GatherRows(a.Q.Forward(uniq), idx),
+		GatherRows(a.K.Forward(uniq), idx),
+		GatherRows(a.V.Forward(uniq), idx),
+		lens,
+	)
+}
+
+// forwardSegments is the shared segment-attention core over precomputed
+// projections.
+func (a *SelfAttention) forwardSegments(x, q, k, v *Tensor, lens []int) *Tensor {
+	parts := make([]*Tensor, len(lens))
+	off := 0
+	for s, n := range lens {
+		qs := SliceRows(q, off, off+n)
+		ks := SliceRows(k, off, off+n)
+		vs := SliceRows(v, off, off+n)
+		scores := Scale(MatMul(qs, Transpose(ks)), 1/math.Sqrt(float64(a.dim)))
+		parts[s] = MatMul(SoftmaxRows(scores), vs)
+		off += n
+	}
+	if off != x.R {
+		panic(fmt.Sprintf("nn: ForwardSegments lengths sum to %d, tensor has %d rows", off, x.R))
+	}
+	ctx := a.O.Forward(ConcatRows(parts...))
 	return a.Norm.Forward(Add(x, ctx))
 }
 

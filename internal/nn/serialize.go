@@ -14,6 +14,15 @@ type paramBlob struct {
 
 // SaveParams serialises parameter values (not optimiser state) with gob.
 func SaveParams(w io.Writer, params []*Tensor) error {
+	return EncodeParams(gob.NewEncoder(w), params)
+}
+
+// EncodeParams writes the parameter blob through an existing encoder, so
+// callers embedding parameters in a larger gob stream (the model-bundle
+// format) share one encoder: a gob decoder buffers ahead of what it
+// decodes, which makes mixing independent encoders on one stream
+// unreadable.
+func EncodeParams(enc *gob.Encoder, params []*Tensor) error {
 	blob := paramBlob{}
 	for _, p := range params {
 		blob.Shapes = append(blob.Shapes, [2]int{p.R, p.C})
@@ -21,23 +30,40 @@ func SaveParams(w io.Writer, params []*Tensor) error {
 		copy(d, p.Data)
 		blob.Data = append(blob.Data, d)
 	}
-	return gob.NewEncoder(w).Encode(blob)
+	return enc.Encode(blob)
 }
 
 // LoadParams restores values into an architecture-compatible parameter
 // set.
 func LoadParams(r io.Reader, params []*Tensor) error {
+	return DecodeParams(gob.NewDecoder(r), params)
+}
+
+// DecodeParams is LoadParams over an existing decoder (see EncodeParams).
+// Bundles reach this from user-supplied files (-model-in), so every
+// dimension is validated before any copy: a malformed blob returns an
+// error rather than panicking or half-loading a model.
+func DecodeParams(dec *gob.Decoder, params []*Tensor) error {
 	var blob paramBlob
-	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+	if err := dec.Decode(&blob); err != nil {
 		return err
 	}
-	if len(blob.Data) != len(params) {
-		return fmt.Errorf("nn: parameter count mismatch: blob %d vs model %d", len(blob.Data), len(params))
+	if len(blob.Data) != len(params) || len(blob.Shapes) != len(params) {
+		return fmt.Errorf("nn: parameter count mismatch: blob %d shapes / %d tensors vs model %d",
+			len(blob.Shapes), len(blob.Data), len(params))
 	}
 	for i, p := range params {
 		if blob.Shapes[i] != [2]int{p.R, p.C} {
 			return fmt.Errorf("nn: parameter %d shape mismatch: blob %v vs model %dx%d", i, blob.Shapes[i], p.R, p.C)
 		}
+		if len(blob.Data[i]) != p.R*p.C {
+			return fmt.Errorf("nn: parameter %d has %d values, shape %dx%d needs %d",
+				i, len(blob.Data[i]), p.R, p.C, p.R*p.C)
+		}
+	}
+	// Validate everything before mutating anything, so a bad bundle
+	// cannot leave the model half-loaded.
+	for i, p := range params {
 		copy(p.Data, blob.Data[i])
 	}
 	return nil

@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGradAffine finite-difference-checks the fused affine op, with and
+// without the fused ReLU.
+func TestGradAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, relu := range []bool{false, true} {
+		x := randParam(rng, 5, 4)
+		w := randParam(rng, 4, 3)
+		b := randParam(rng, 1, 3)
+		// Shift pre-activations away from the ReLU kink.
+		for i := range b.Data {
+			b.Data[i] += 0.3
+		}
+		name := "affine"
+		if relu {
+			name = "affine+relu"
+		}
+		checkGrads(t, name, []*Tensor{x, w, b}, func() *Tensor {
+			y := Affine(x, w, b, relu)
+			return MeanAll(Mul(y, y))
+		})
+	}
+}
+
+// TestAffineMatchesChain pins the fusion contract: Affine is bitwise
+// identical to the ReLU(AddBias(MatMul)) chain it replaces, in the
+// forward values and in every parameter gradient.
+func TestAffineMatchesChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, relu := range []bool{false, true} {
+		x := randParam(rng, 7, 6)
+		// Sprinkle exact zeros: the kernel's blocked zero-skip must agree
+		// with MatMul's per-term skip.
+		for i := 0; i < len(x.Data); i += 3 {
+			x.Data[i] = 0
+		}
+		w := randParam(rng, 6, 5)
+		b := randParam(rng, 1, 5)
+		chainOut := func() *Tensor {
+			y := AddBias(MatMul(x, w), b)
+			if relu {
+				y = ReLU(y)
+			}
+			return y
+		}
+
+		fused := Affine(x, w, b, relu)
+		chain := chainOut()
+		for i := range fused.Data {
+			if fused.Data[i] != chain.Data[i] {
+				t.Fatalf("relu=%v: fused value [%d] %g != chain %g", relu, i, fused.Data[i], chain.Data[i])
+			}
+		}
+
+		params := []*Tensor{x, w, b}
+		grads := func(loss *Tensor) [][]float64 {
+			for _, p := range params {
+				for i := range p.Grad {
+					p.Grad[i] = 0
+				}
+			}
+			Backward(loss)
+			out := make([][]float64, len(params))
+			for i, p := range params {
+				out[i] = append([]float64(nil), p.Grad...)
+			}
+			return out
+		}
+		gf := grads(MeanAll(Mul(Affine(x, w, b, relu), Affine(x, w, b, relu))))
+		gc := grads(MeanAll(Mul(chainOut(), chainOut())))
+		for pi := range params {
+			for i := range gf[pi] {
+				if gf[pi][i] != gc[pi][i] {
+					t.Fatalf("relu=%v: param %d grad [%d] %g != chain %g", relu, pi, i, gf[pi][i], gc[pi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestGradSliceRows finite-difference-checks the slicing op used by the
+// segment-attention training path.
+func TestGradSliceRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := randParam(rng, 5, 3)
+	checkGrads(t, "slicerows", []*Tensor{x}, func() *Tensor {
+		c := ConcatRows(SliceRows(x, 2, 5), SliceRows(x, 0, 2))
+		return MeanAll(Mul(c, c))
+	})
+}
+
+// TestGradGatherRows checks the dedup expansion: gradients of duplicated
+// rows must sum into their representative.
+func TestGradGatherRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	src := randParam(rng, 3, 4)
+	idx := []int{0, 2, 1, 2, 0, 2}
+	w := randParam(rng, 6, 4)
+	checkGrads(t, "gatherrows", []*Tensor{src}, func() *Tensor {
+		return MeanAll(Mul(GatherRows(src, idx), w))
+	})
+}
+
+// TestForwardSegmentsMatchesPerSegment pins the training segment
+// attention to the per-segment Forward: forward values bitwise, summed
+// parameter gradients to close tolerance (the weight-gradient terms add
+// in a different order).
+func TestForwardSegmentsMatchesPerSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	attn := NewSelfAttention(rng, 6)
+	lens := []int{3, 2, 4}
+	x := randParam(rng, 9, 6)
+
+	seg := attn.ForwardSegments(x, lens)
+	off := 0
+	var parts []*Tensor
+	for _, n := range lens {
+		parts = append(parts, attn.Forward(SliceRows(x, off, off+n)))
+		off += n
+	}
+	ref := ConcatRows(parts...)
+	for i := range seg.Data {
+		if seg.Data[i] != ref.Data[i] {
+			t.Fatalf("segment forward value [%d] %g != per-segment %g", i, seg.Data[i], ref.Data[i])
+		}
+	}
+
+	grads := func(out *Tensor) []float64 {
+		for _, p := range attn.Params() {
+			for i := range p.Grad {
+				p.Grad[i] = 0
+			}
+		}
+		for i := range x.Grad {
+			x.Grad[i] = 0
+		}
+		Backward(MeanAll(Mul(out, out)))
+		var flat []float64
+		for _, p := range append([]*Tensor{x}, attn.Params()...) {
+			flat = append(flat, p.Grad...)
+		}
+		return flat
+	}
+	gs := grads(attn.ForwardSegments(x, lens))
+	off = 0
+	parts = parts[:0]
+	for _, n := range lens {
+		parts = append(parts, attn.Forward(SliceRows(x, off, off+n)))
+		off += n
+	}
+	gr := grads(ConcatRows(parts...))
+	for i := range gs {
+		if math.Abs(gs[i]-gr[i]) > 1e-12*(1+math.Abs(gr[i])) {
+			t.Fatalf("segment grad [%d] %g != per-segment %g", i, gs[i], gr[i])
+		}
+	}
+}
+
+// TestForwardSegmentsDedupMatches pins the gradient-aware dedup path to
+// the expanded path: identical forward values, gradients to close
+// tolerance (duplicate rows' projection gradients accumulate at the
+// representative instead of per copy).
+func TestForwardSegmentsDedupMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	attn := NewSelfAttention(rng, 4)
+	lens := []int{3, 3}
+	uniq := randParam(rng, 3, 4)
+	idx := []int{0, 1, 0, 2, 2, 0} // heavy duplication, as TLP tokens show
+
+	ded := attn.ForwardSegmentsDedup(uniq, idx, lens)
+	exp := attn.ForwardSegments(GatherRows(uniq, idx), lens)
+	for i := range ded.Data {
+		if ded.Data[i] != exp.Data[i] {
+			t.Fatalf("dedup forward value [%d] %g != expanded %g", i, ded.Data[i], exp.Data[i])
+		}
+	}
+
+	grads := func(out *Tensor) []float64 {
+		for _, p := range append([]*Tensor{uniq}, attn.Params()...) {
+			for i := range p.Grad {
+				p.Grad[i] = 0
+			}
+		}
+		Backward(MeanAll(Mul(out, out)))
+		var flat []float64
+		for _, p := range append([]*Tensor{uniq}, attn.Params()...) {
+			flat = append(flat, p.Grad...)
+		}
+		return flat
+	}
+	gd := grads(attn.ForwardSegmentsDedup(uniq, idx, lens))
+	ge := grads(attn.ForwardSegments(GatherRows(uniq, idx), lens))
+	for i := range gd {
+		if math.Abs(gd[i]-ge[i]) > 1e-12*(1+math.Abs(ge[i])) {
+			t.Fatalf("dedup grad [%d] %g != expanded %g", i, gd[i], ge[i])
+		}
+	}
+}
+
+// TestGradSetBindAddInto covers the trainer's gradient plumbing: slot
+// buffers capture a backward, and AddInto reduces them into the live
+// parameters with scaling.
+func TestGradSetBindAddInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	w := randParam(rng, 2, 2)
+	live := []*Tensor{w}
+	slot := NewGradSet(live)
+
+	rep := randParam(rng, 2, 2)
+	AliasParams([]*Tensor{rep}, live)
+	for i := range rep.Data {
+		if rep.Data[i] != w.Data[i] {
+			t.Fatal("AliasParams must share values")
+		}
+	}
+	slot.Zero()
+	slot.Bind([]*Tensor{rep})
+	x := FromVec([]float64{1, 2})
+	Backward(MeanAll(MatMul(x, rep)))
+	if rep.Grad[0] == 0 {
+		t.Fatal("bound slot did not capture the backward")
+	}
+
+	for i := range w.Grad {
+		w.Grad[i] = 0
+	}
+	slot.AddInto(live, 0.5)
+	for i := range w.Grad {
+		if w.Grad[i] != rep.Grad[i]*0.5 {
+			t.Fatalf("AddInto wrong at %d: %g want %g", i, w.Grad[i], rep.Grad[i]*0.5)
+		}
+	}
+	// The live parameter's own Grad buffer must be distinct storage.
+	if &w.Grad[0] == &rep.Grad[0] {
+		t.Fatal("slot buffer aliases the live gradient")
+	}
+}
+
+// TestDecodeParamsRejectsMalformedBlobs pins the -model-in hardening: a
+// bundle with inconsistent shape/data counts or short value rows errors
+// out without mutating (or panicking) the destination model.
+func TestDecodeParamsRejectsMalformedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	dst := NewMLP(rng, 2, 3, 1)
+	before := append([]float64(nil), dst.Params()[0].Data...)
+
+	encode := func(blob paramBlob) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	// Shapes shorter than Data: must error, not panic.
+	blob := paramBlob{Data: make([][]float64, len(dst.Params()))}
+	for i, p := range dst.Params() {
+		blob.Data[i] = make([]float64, len(p.Data))
+	}
+	if err := LoadParams(encode(blob), dst.Params()); err == nil {
+		t.Fatal("missing shapes must be rejected")
+	}
+
+	// Correct shapes but a short value row: must error before copying.
+	blob.Shapes = nil
+	for _, p := range dst.Params() {
+		blob.Shapes = append(blob.Shapes, [2]int{p.R, p.C})
+	}
+	blob.Data[0] = blob.Data[0][:1]
+	blob.Data[0][0] = 99
+	if err := LoadParams(encode(blob), dst.Params()); err == nil {
+		t.Fatal("short value row must be rejected")
+	}
+	for i, v := range dst.Params()[0].Data {
+		if v != before[i] {
+			t.Fatal("rejected bundle must not mutate the model")
+		}
+	}
+}

@@ -17,9 +17,10 @@ import (
 // measurement round, which both bounds memory and keeps cache entries
 // from outliving the round's candidate pool.
 type Memo struct {
-	mu   sync.Mutex
-	task *ir.Task
-	m    map[string]*Lowered
+	mu     sync.Mutex
+	task   *ir.Task
+	m      map[string]*Lowered
+	misses int
 }
 
 // NewMemo returns an empty memo.
@@ -57,9 +58,22 @@ func (m *Memo) Lower(t *ir.Task, s *Schedule) *Lowered {
 		lw = prev
 	} else {
 		m.m[fp] = lw
+		m.misses++
 	}
 	m.mu.Unlock()
 	return lw
+}
+
+// Misses reports how many distinct programs this memo actually lowered
+// (cache misses that stored an entry). The training-engine tests use it
+// to pin "each record is lowered and featurized once per session".
+func (m *Memo) Misses() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.misses
 }
 
 // Len reports the number of cached programs (tests, introspection).

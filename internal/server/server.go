@@ -55,6 +55,12 @@ type Config struct {
 	// DefaultTrials).
 	DefaultTrials int
 	MaxTrials     int
+	// Pretrained optionally supplies offline cost-model weights (loaded
+	// from a pruner.SaveModel bundle via the daemon's -model-in flag).
+	// When set, jobs may request the pretrained-weight methods whose
+	// architecture matches the bundle's kind (e.g. moa-pruner for "pacm");
+	// without it those methods are rejected at submit time.
+	Pretrained *pruner.Pretrained
 }
 
 func (c Config) withDefaults() Config {
@@ -202,14 +208,45 @@ func (s *Server) resolve(spec *JobSpec) (*pruner.Device, *pruner.Network, []*ir.
 	if spec.Method == "" {
 		spec.Method = string(pruner.MethodPruner)
 	}
-	switch pruner.Method(spec.Method) {
+	switch method := pruner.Method(spec.Method); method {
 	case pruner.MethodPruner, pruner.MethodAnsor, pruner.MethodMetaSchedule, pruner.MethodRoller:
 	default:
-		// Pretrained-weight methods need an offline bundle the API does
-		// not carry yet; reject up front instead of failing mid-queue.
-		return nil, nil, nil, fmt.Errorf("method %q is not servable (supported: pruner, ansor, metaschedule, roller)", spec.Method)
+		// Everything else is either a pretrained-weight method — servable
+		// only when the daemon was started with a matching -model-in
+		// bundle (consulting the canonical pruner.PretrainedKind map, so a
+		// new pretrained method needs no server change) — or unknown.
+		// Reject either up front instead of failing mid-queue.
+		kind := pruner.PretrainedKind(method)
+		if kind == "" {
+			return nil, nil, nil, fmt.Errorf("method %q is not servable (supported: pruner, ansor, metaschedule, roller%s)", spec.Method, servablePretrained(s.cfg.Pretrained))
+		}
+		if s.cfg.Pretrained == nil {
+			return nil, nil, nil, fmt.Errorf("method %q needs pretrained weights; start the daemon with -model-in", spec.Method)
+		}
+		if s.cfg.Pretrained.Kind != kind {
+			return nil, nil, nil, fmt.Errorf("method %q needs %q weights, daemon loaded %q", spec.Method, kind, s.cfg.Pretrained.Kind)
+		}
 	}
 	return dev, net, net.Representative(spec.MaxTasks), nil
+}
+
+// servablePretrained names the extra methods a loaded bundle enables,
+// for the submit-time error message (derived from the canonical
+// pruner.PretrainedKind map so the list cannot drift).
+func servablePretrained(p *pruner.Pretrained) string {
+	if p == nil {
+		return ""
+	}
+	var extra string
+	for _, m := range []pruner.Method{
+		pruner.MethodMoAPruner, pruner.MethodPrunerOffline,
+		pruner.MethodTenSetMLP, pruner.MethodTLP,
+	} {
+		if pruner.PretrainedKind(m) == p.Kind {
+			extra += ", " + string(m)
+		}
+	}
+	return extra
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -486,6 +523,7 @@ func (s *Server) run(j *job) {
 		Seed:       spec.Seed,
 		MaxTasks:   spec.MaxTasks,
 		TensorCore: spec.TensorCore,
+		Pretrained: s.cfg.Pretrained,
 		Pool:       s.cfg.Pool,
 		Ctx:        ctx,
 		WarmStart:  warm,

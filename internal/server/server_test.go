@@ -411,3 +411,73 @@ func TestServerShutdownCancelsRunningJob(t *testing.T) {
 		}
 	}
 }
+
+// TestPretrainedMethodGating pins the -model-in story: pretrained-weight
+// methods are rejected up front without a loaded bundle, rejected on an
+// architecture mismatch, and served end to end when the bundle matches.
+func TestPretrainedMethodGating(t *testing.T) {
+	// No bundle: moa-pruner must be rejected at submit time.
+	_, ts := testServer(t, t.TempDir())
+	body, _ := json.Marshal(JobSpec{Device: "t4", Network: "dcgan", Method: "moa-pruner", Trials: 20, MaxTasks: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("moa-pruner without a bundle: status %d, want 400", resp.StatusCode)
+	}
+
+	// A matching bundle makes the method servable.
+	ds, err := pruner.GenerateDataset(pruner.T4, []string{"dcgan"}, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pre, err := pruner.PretrainModel("pacm", ds, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv, err := New(Config{
+		Store:      st,
+		Pool:       pruner.NewPool(2),
+		Workers:    1,
+		QueueDepth: 4,
+		Pretrained: pre,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	// Mismatched architecture still rejects.
+	body, _ = json.Marshal(JobSpec{Device: "t4", Network: "dcgan", Method: "tlp", Trials: 20, MaxTasks: 1})
+	resp, err = http.Post(ts2.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tlp against a pacm bundle: status %d, want 400", resp.StatusCode)
+	}
+
+	v := postJob(t, ts2, JobSpec{Device: "t4", Network: "dcgan", Method: "moa-pruner", Trials: 20, MaxTasks: 1, Seed: 5})
+	events := drainSSE(t, ts2, v.ID)
+	last := events[len(events)-1]
+	if last.Type != StateDone {
+		t.Fatalf("moa-pruner job ended %q (%s)", last.Type, last.Error)
+	}
+	if got := getJob(t, ts2, v.ID); got.Result == nil || got.Result.Source != "tuned" {
+		t.Fatalf("unexpected result: %+v", got.Result)
+	}
+}

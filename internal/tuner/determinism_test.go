@@ -81,6 +81,40 @@ func equalResults(t *testing.T, label string, serial, wide *Result) {
 	}
 }
 
+// TestTuneFittedParamsDeterministicAcrossParallelism extends the
+// contract through the parallel training engine: after identical
+// sessions at P=1 and P=8, the online-trained cost model's parameters —
+// not just the search results downstream of them — are bitwise
+// identical, because per-group gradients reduce in fixed group order no
+// matter which worker computed them.
+func TestTuneFittedParamsDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) (*Result, *costmodel.PaCM) {
+		m := costmodel.NewPaCM(3)
+		res := Tune(device.T4, twoTasks(), Options{
+			Trials:      60,
+			BatchSize:   10,
+			Policy:      search.NewPrunerPolicy(),
+			Model:       m,
+			OnlineTrain: true,
+			Seed:        9,
+			Parallelism: parallelism,
+		})
+		return res, m
+	}
+	serialRes, serialM := run(1)
+	wideRes, wideM := run(8)
+	equalResults(t, "fitted P=1 vs P=8", serialRes, wideRes)
+	ps, pw := serialM.Params(), wideM.Params()
+	for i := range ps {
+		for j := range ps[i].Data {
+			if ps[i].Data[j] != pw[i].Data[j] {
+				t.Fatalf("fitted param %d[%d] differs across parallelism: %g vs %g",
+					i, j, ps[i].Data[j], pw[i].Data[j])
+			}
+		}
+	}
+}
+
 // TestTuneWarmStartDeterministicAcrossParallelism extends the contract to
 // warm-started sessions (the daemon's resume path): a fixed seed with
 // identical warm-start records is bitwise reproducible at any parallelism,

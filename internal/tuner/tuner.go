@@ -51,6 +51,17 @@ type Options struct {
 	TrainEvery int
 	// Fit configures each online training call.
 	Fit costmodel.FitOptions
+	// Replay bounds each incremental online fit: the fit sees the records
+	// measured since the last fit plus Replay records sampled from earlier
+	// rounds (so per-session training cost grows linearly with rounds, not
+	// quadratically). 0 selects 4*BatchSize — 12*BatchSize under MoA,
+	// whose every update re-initialises the target from the Siamese and
+	// therefore leans harder on the sample — and negative disables
+	// replay. Set it very large (it is capped at the history size) to
+	// recover the old full-history refit. The sample comes from a
+	// dedicated deterministic stream, so sessions stay bitwise
+	// reproducible at any Parallelism.
+	Replay int
 	// Adaptation + Pretrained select the cross-platform strategy.
 	Adaptation Adaptation
 	Pretrained []*nn.Tensor
@@ -137,10 +148,20 @@ func (o Options) withDefaults(dev *device.Device) Options {
 	if o.Fit.Epochs == 0 {
 		o.Fit.Epochs = 8
 	}
+	if o.Replay == 0 {
+		if o.Adaptation == AdaptMoA {
+			o.Replay = 12 * o.BatchSize
+		} else {
+			o.Replay = 4 * o.BatchSize
+		}
+	}
 	if o.Adaptation == AdaptMoA {
 		// Each MoA update re-initialises the target from the Siamese, so
-		// the fine-tune must re-absorb the online data every time; it gets
-		// twice the epochs, paid for by MoA's halved update frequency.
+		// the fine-tune must re-absorb its training slice — the fresh
+		// batch plus the (MoA-enlarged) replay sample — every time; it
+		// gets twice the epochs, paid for by MoA's halved update
+		// frequency. History beyond the sample reaches the model through
+		// the momentum-blended Siamese.
 		o.Fit.Epochs *= 2
 	}
 	return o
@@ -234,6 +255,10 @@ func (r *Result) WorkloadLatencyAt(target float64) float64 {
 // use the task index, so any negative constant keeps them disjoint.
 const schedulerStream = -2
 
+// trainStream owns the online trainer's replay-sampling draws, disjoint
+// from every task stream and the scheduler stream.
+const trainStream = -3
+
 // Tune runs Algorithm 1 over the partitioned task set on one device.
 func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	opt = opt.withDefaults(dev)
@@ -321,17 +346,42 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		nn.CopyParams(opt.Model.Params(), opt.Pretrained)
 	}
 
+	// Online training is incremental: each fit sees the records measured
+	// since the last fit plus a seeded replay sample of older history, so
+	// per-session training cost grows linearly with rounds instead of
+	// quadratically (the full-history refit this replaces). The training
+	// feature cache is session-scoped — records are append-only and
+	// features deterministic — so each record is lowered and featurized
+	// once per session, not once per epoch x round.
+	opt.Fit.Cache = costmodel.NewFitCache()
+	trainedTo := 0
+	trainRNG := rand.New(rand.NewSource(parallel.SplitSeed(opt.Seed, trainStream)))
+
 	// trainOnline is Algorithm 1 line 13 (and the warm-start priming fit):
 	// MoA re-initialises the target from the Siamese before fitting and
 	// feeds the result back with momentum; other adaptations fit in place.
 	trainOnline := func() {
+		fresh := allRecords[trainedTo:]
+		fitRecs := fresh
+		if history := allRecords[:trainedTo]; len(history) > 0 && opt.Replay > 0 {
+			k := opt.Replay
+			if k > len(history) {
+				k = len(history)
+			}
+			fitRecs = make([]costmodel.Record, 0, len(fresh)+k)
+			fitRecs = append(fitRecs, fresh...)
+			for _, i := range trainRNG.Perm(len(history))[:k] {
+				fitRecs = append(fitRecs, history[i])
+			}
+		}
+		trainedTo = len(allRecords)
 		var report costmodel.FitReport
 		if opt.Adaptation == AdaptMoA {
 			nn.CopyParams(opt.Model.Params(), siamese)
-			report = opt.Model.Fit(allRecords, opt.Fit)
+			report = opt.Model.Fit(fitRecs, opt.Fit)
 			nn.MomentumUpdate(siamese, opt.Model.Params(), opt.Momentum)
 		} else {
-			report = opt.Model.Fit(allRecords, opt.Fit)
+			report = opt.Model.Fit(fitRecs, opt.Fit)
 		}
 		res.Clock.Training += float64(report.SampleVisits) * opt.Cost.TrainPerSample * opt.Model.Costs().TrainX
 	}

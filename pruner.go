@@ -2,7 +2,9 @@ package pruner
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
+	"io"
 
 	"pruner/internal/costmodel"
 	"pruner/internal/dataset"
@@ -105,6 +107,76 @@ type Pretrained struct {
 	Weights []*nn.Tensor
 }
 
+// PretrainedKind is the canonical method -> weight-architecture map: the
+// model kind a method's Config.Pretrained must carry, or "" for methods
+// that need no pretrained weights. Tune and the daemon's submit-time
+// gating both consult it, so the mapping cannot drift between them.
+func PretrainedKind(m Method) string {
+	switch m {
+	case MethodMoAPruner, MethodPrunerOffline:
+		return "pacm"
+	case MethodTenSetMLP:
+		return "tensetmlp"
+	case MethodTLP:
+		return "tlp"
+	}
+	return ""
+}
+
+// SaveModel writes a pretrained weight bundle (kind + parameters) to w,
+// in the format LoadModel reads. Together with the -model-out/-model-in
+// CLI flags this lets one process pretrain and every later process —
+// tuner runs, the serving daemon, examples — reuse the weights instead
+// of re-pretraining.
+func SaveModel(w io.Writer, p *Pretrained) error {
+	if p == nil || len(p.Weights) == 0 {
+		return fmt.Errorf("pruner: SaveModel needs a non-empty Pretrained")
+	}
+	if _, err := newModelKind(p.Kind, 0); err != nil {
+		return err
+	}
+	// One encoder for the whole bundle: a gob decoder reads ahead of what
+	// it decodes, so the kind header and the parameter blob must share a
+	// stream rather than stack independent encoders.
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(p.Kind); err != nil {
+		return fmt.Errorf("pruner: writing model kind: %w", err)
+	}
+	return nn.EncodeParams(enc, p.Weights)
+}
+
+// LoadModel reads a weight bundle written by SaveModel, validating the
+// parameters against a freshly built model of the recorded kind.
+func LoadModel(r io.Reader) (*Pretrained, error) {
+	dec := gob.NewDecoder(r)
+	var kind string
+	if err := dec.Decode(&kind); err != nil {
+		return nil, fmt.Errorf("pruner: reading model kind: %w", err)
+	}
+	m, err := newModelKind(kind, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.DecodeParams(dec, m.Params()); err != nil {
+		return nil, fmt.Errorf("pruner: loading %q weights: %w", kind, err)
+	}
+	return &Pretrained{Kind: kind, Weights: tuner.SnapshotParams(m)}, nil
+}
+
+// newModelKind builds a fresh learned cost model of the named kind.
+func newModelKind(kind string, seed int64) (costmodel.Model, error) {
+	switch kind {
+	case "pacm":
+		return costmodel.NewPaCM(seed), nil
+	case "tensetmlp":
+		return costmodel.NewTenSetMLP(seed), nil
+	case "tlp":
+		return costmodel.NewTLP(seed), nil
+	default:
+		return nil, fmt.Errorf("pruner: unknown model kind %q", kind)
+	}
+}
+
 // Config tunes a session.
 type Config struct {
 	Method Method
@@ -159,7 +231,8 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		Progress:    cfg.Progress,
 		WarmStart:   cfg.WarmStart,
 	}
-	needPretrained := func(kind string) ([]*nn.Tensor, error) {
+	needPretrained := func() ([]*nn.Tensor, error) {
+		kind := PretrainedKind(cfg.Method)
 		if cfg.Pretrained == nil {
 			return nil, fmt.Errorf("pruner: method %q requires Config.Pretrained", cfg.Method)
 		}
@@ -174,7 +247,7 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		opt.Model = costmodel.NewPaCM(cfg.Seed + 1)
 		opt.OnlineTrain = true
 	case MethodMoAPruner:
-		w, err := needPretrained("pacm")
+		w, err := needPretrained()
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +261,7 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		opt.Model = costmodel.NewTenSetMLP(cfg.Seed + 1)
 		opt.OnlineTrain = true
 	case MethodTenSetMLP:
-		w, err := needPretrained("tensetmlp")
+		w, err := needPretrained()
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +270,7 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		opt.Adaptation = tuner.AdaptFineTune
 		opt.Pretrained = w
 	case MethodTLP:
-		w, err := needPretrained("tlp")
+		w, err := needPretrained()
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +279,7 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		opt.Adaptation = tuner.AdaptFineTune
 		opt.Pretrained = w
 	case MethodPrunerOffline:
-		w, err := needPretrained("pacm")
+		w, err := needPretrained()
 		if err != nil {
 			return nil, err
 		}
@@ -247,18 +320,13 @@ func GenerateDataset(dev *Device, networks []string, schedulesPerTask int, seed 
 // "tensetmlp", "tlp") on a dataset and returns both the live model and a
 // weight snapshot usable as Config.Pretrained.
 func PretrainModel(kind string, ds *Dataset, epochs int, seed int64) (Model, *Pretrained, error) {
-	var m costmodel.Model
-	switch kind {
-	case "pacm":
-		m = costmodel.NewPaCM(seed)
-	case "tensetmlp":
-		m = costmodel.NewTenSetMLP(seed)
-	case "tlp":
-		m = costmodel.NewTLP(seed)
-	default:
-		return nil, nil, fmt.Errorf("pruner: unknown model kind %q", kind)
+	m, err := newModelKind(kind, seed)
+	if err != nil {
+		return nil, nil, err
 	}
-	m.Fit(ds.Records(), costmodel.FitOptions{Epochs: epochs, Seed: seed})
+	// The cache is scoped to this one (multi-epoch) fit: each record is
+	// lowered and featurized once instead of once per epoch.
+	m.Fit(ds.Records(), costmodel.FitOptions{Epochs: epochs, Seed: seed, Cache: costmodel.NewFitCache()})
 	return m, &Pretrained{Kind: kind, Weights: tuner.SnapshotParams(m)}, nil
 }
 
