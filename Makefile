@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve serve-e2e bench bench-smoke bench-parallel clean
+.PHONY: all build vet test race serve serve-e2e measure-e2e bench bench-smoke bench-parallel clean
 
 all: vet build test
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/tuner/... ./internal/search/... \
 		./internal/parallel/... ./internal/nn/... ./internal/experiments/... \
-		./internal/store/... ./internal/server/...
+		./internal/store/... ./internal/server/... ./internal/measure/...
 
 # Run the tuning daemon locally (see API.md for the endpoints).
 serve:
@@ -31,13 +31,21 @@ serve:
 serve-e2e:
 	$(GO) test -race -v ./internal/server/... ./internal/store/...
 
+# The measurement-fleet end-to-end suite under -race: pruner-serve with a
+# loopback pruner-measure worker (register -> submit -> fleet-measured
+# result byte-identical to the simulator), plus the wire-fidelity and
+# pipeline determinism contracts.
+measure-e2e:
+	$(GO) test -race -v -run 'TestFleet|TestMeasurer|TestWorkerFleetMatchesSimulator|TestTunePipeline' \
+		./internal/server/... ./internal/measure/... ./internal/tuner/...
+
 # Regenerate the scaled evaluation (every paper table/figure).
 bench:
 	$(GO) test -bench=. -benchtime=1x -timeout=120m .
 
 # CI's benchmark smoke: every internal benchmark once (incl. the
-# verify-stage BenchmarkPredictBatched and the training-engine
-# BenchmarkFit) plus a bounded root subset.
+# verify-stage BenchmarkPredictBatched, the training-engine BenchmarkFit
+# and the BenchmarkTunePipeline depth sweep) plus a bounded root subset.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) test -run='^$$' -bench='BenchmarkTuneParallel|BenchmarkAblation_SAvsOracle' -benchtime=1x -timeout=20m .

@@ -1,0 +1,138 @@
+// Command pruner-measure is a measurement worker daemon: the remote half
+// of the tuning fleet. It executes measurement batches POSTed by tuning
+// sessions (pruner-serve jobs or pruner-tune -measurers) and, when told
+// where the daemon lives, registers itself with pruner-serve and
+// heartbeats so the daemon's jobs discover it automatically.
+//
+// Usage:
+//
+//	pruner-measure -listen :8151 -serve http://localhost:8149
+//
+// Endpoints:
+//
+//	POST /measure  execute one batch (record-codec wire format; see API.md)
+//	GET  /healthz  liveness + batch counters
+//
+// Workers return true (noise-free) latencies; the session applies
+// measurement noise from its own seeded stream, so fleet-measured
+// sessions are bitwise identical to simulator-backed ones.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pruner"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8151", "listen address")
+		serve     = flag.String("serve", "", "pruner-serve base URL to register with (e.g. http://localhost:8149); empty skips registration")
+		advertise = flag.String("advertise", "", "base URL the daemon should dispatch to (default: http://<local-host>:<listen-port>)")
+		par       = flag.Int("parallelism", 0, "measurement fan-out worker budget (0 = all CPUs)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "re-registration interval; keep it under the daemon's -measurer-ttl")
+	)
+	flag.Parse()
+
+	worker := pruner.NewMeasureWorker(*par)
+	ln, err := net.Listen("tcp", *listen)
+	fatalIf(err)
+	httpSrv := &http.Server{Handler: worker.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "pruner-measure: listening on %s\n", ln.Addr())
+
+	self := *advertise
+	if self == "" {
+		self = "http://" + advertiseHost(ln.Addr().String())
+	}
+	self = strings.TrimSuffix(self, "/")
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *serve != "" {
+		base := strings.TrimSuffix(*serve, "/")
+		register(base, self) // first registration failure is only a warning: the daemon may start later
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					register(base, self)
+				}
+			}
+		}()
+		defer deregister(base, self)
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pruner-measure: shutting down...")
+	case err := <-errCh:
+		fatalIf(err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	st := worker.Status()
+	fmt.Fprintf(os.Stderr, "pruner-measure: bye (%d batches, %d schedules served)\n", st.Batches, st.Schedules)
+}
+
+// advertiseHost rewrites a wildcard listen address into something a local
+// daemon can dial (multi-host fleets should pass -advertise explicitly).
+func advertiseHost(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+func register(serveBase, self string) {
+	body, _ := json.Marshal(map[string]string{"url": self})
+	resp, err := http.Post(serveBase+"/v1/measurers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pruner-measure: registering with %s: %v\n", serveBase, err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "pruner-measure: registering with %s: HTTP %d\n", serveBase, resp.StatusCode)
+	}
+}
+
+func deregister(serveBase, self string) {
+	req, err := http.NewRequest(http.MethodDelete, serveBase+"/v1/measurers?url="+url.QueryEscape(self), nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pruner-measure:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,11 @@
 //	curl -N localhost:8149/v1/jobs/j-000001/events
 //	curl -s 'localhost:8149/v1/best?device=a100&network=resnet50'
 //
+// Remote measurement workers (pruner-measure -serve http://localhost:8149)
+// register at /v1/measurers; jobs with "measurer":"auto" (the default)
+// have their batches measured by the fleet whenever a live worker
+// exists, with results byte-identical to in-process measurement.
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs stop at the next
 // round boundary, their partial measurements are persisted, and the
 // process exits once the workers drain.
@@ -46,6 +51,7 @@ func main() {
 		fsync     = flag.Bool("fsync", false, "fsync the store after every append")
 		segBytes  = flag.Int64("max-segment-bytes", 0, "store segment rotation threshold (0 = 4MiB)")
 		modelIn   = flag.String("model-in", "", "pretrained cost-model weights (pruner-tune -model-out); enables the matching pretrained-weight methods")
+		measTTL   = flag.Duration("measurer-ttl", 0, "expire fleet workers whose last heartbeat is older than this (0 = 2m, negative = never)")
 	)
 	flag.Parse()
 
@@ -73,6 +79,7 @@ func main() {
 		DefaultTrials: *trials,
 		MaxTrials:     *maxTrials,
 		Pretrained:    pretrained,
+		MeasurerTTL:   *measTTL,
 	})
 	fatalIf(err)
 

@@ -39,6 +39,8 @@ func main() {
 		resume   = flag.String("resume", "", "warm-start from a record log written by -log; already-measured schedules are not re-measured")
 		modelIn  = flag.String("model-in", "", "load pretrained cost-model weights from a file written by -model-out (skips -pretrain)")
 		modelOut = flag.String("model-out", "", "save the -pretrain weights to the file for reuse by later runs, pruner-serve -model-in, or examples")
+		depth    = flag.Int("pipeline-depth", 0, "measurement rounds in flight (0/1 = serial loop; higher overlaps measurement with search, deterministic per depth)")
+		fleet    = flag.String("measurers", "", "comma-separated pruner-measure worker base URLs; batches are measured by the fleet instead of in-process (bitwise-identical results)")
 	)
 	flag.Parse()
 
@@ -74,11 +76,27 @@ func main() {
 		perSession = 1
 	}
 	cfg := pruner.Config{
-		Method:      pruner.Method(*method),
-		Trials:      *trials,
-		Seed:        *seed,
-		MaxTasks:    *maxTask,
-		Parallelism: perSession,
+		Method:        pruner.Method(*method),
+		Trials:        *trials,
+		Seed:          *seed,
+		MaxTasks:      *maxTask,
+		Parallelism:   perSession,
+		PipelineDepth: *depth,
+	}
+	if *fleet != "" {
+		var urls []string
+		for _, u := range strings.Split(*fleet, ",") {
+			if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		cfg.Measurer = pruner.NewFleet(urls)
+		if *depth == 0 {
+			// A fleet's natural pipeline depth is its worker count: keep
+			// every worker busy unless the user pinned a depth.
+			cfg.PipelineDepth = len(urls)
+		}
+		fmt.Fprintf(os.Stderr, "measuring on a %d-worker fleet (pipeline depth %d)\n", len(urls), cfg.PipelineDepth)
 	}
 	switch {
 	case *modelIn != "" && (*pre > 0 || *modelOut != ""):

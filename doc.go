@@ -28,11 +28,22 @@
 // seeded with Config.WarmStart records and observed via Config.Progress
 // or cancelled via Config.Ctx.
 //
+// Measurement is pluggable (Config.Measurer): the default in-process
+// simulator adapter, or a NewFleet of remote cmd/pruner-measure workers
+// reached over HTTP — byte-identical results either way, because
+// backends return true latencies and the session draws measurement
+// noise from its own seeded streams. Config.PipelineDepth overlaps a
+// round's measurement with the next round's search and the online fit
+// (results committed in strict round order; depth 1 reproduces the
+// serial loop bitwise, any fixed depth is bitwise reproducible at any
+// Parallelism).
+//
 // Tuning-as-a-service: the cmd/pruner-serve daemon exposes tuning over
 // HTTP with SSE progress, persists every measurement in a durable store,
-// warm-starts new sessions from history, and answers repeat requests for
-// an already-tuned (device, network) from the store without searching.
-// See API.md for the endpoint reference.
+// warm-starts new sessions from history, answers repeat requests for
+// an already-tuned (device, network) from the store without searching,
+// and dispatches measurement batches over registered pruner-measure
+// workers. See API.md for the endpoint reference.
 //
 // Offline cost-model weights move between processes as bundles:
 // SaveModel/LoadModel (and the pruner-tune -model-out / -model-in and
@@ -41,7 +52,8 @@
 // the weights instead of re-pretraining.
 //
 // See DESIGN.md for the system inventory, the simulator-substitution
-// rationale, the store/daemon architecture (§6) and the batched
-// inference (§7) and training (§8) engines, and EXPERIMENTS.md for the
-// experiment map and the paper-vs-measured record.
+// rationale, the store/daemon architecture (§6), the batched inference
+// (§7) and training (§8) engines and the measurement subsystem +
+// pipelined round engine (§9), and EXPERIMENTS.md for the experiment
+// map and the paper-vs-measured record.
 package pruner

@@ -5,12 +5,14 @@
 package dataset
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"pruner/internal/costmodel"
 	"pruner/internal/device"
 	"pruner/internal/ir"
+	"pruner/internal/measure"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/simulator"
@@ -55,6 +57,11 @@ type GenOptions struct {
 	// Parallelism) so dataset generation inside a concurrent suite does
 	// not multiply the suite's concurrency.
 	Pool *parallel.Pool
+	// Measurer overrides the measurement backend (a remote fleet, a test
+	// fake); nil wraps the device's default simulator in the in-process
+	// adapter — bitwise identical to the historical direct simulator
+	// call, since the noise draws stay on the generator's stream.
+	Measurer measure.Measurer
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -74,7 +81,11 @@ func (o GenOptions) withDefaults() GenOptions {
 // which dominate the cost, run on the worker pool.
 func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 	opt = opt.withDefaults()
-	sim := simulator.New(dev)
+	meas := opt.Measurer
+	if meas == nil {
+		meas = measure.NewSim(simulator.New(dev))
+	}
+	noise := meas.Info().MeasureNoise
 	pool := opt.Pool
 	if pool == nil {
 		pool = parallel.New(opt.Parallelism)
@@ -92,9 +103,24 @@ func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 			schs = append(schs, gen.Mutate(rng, parent))
 		}
 		// Only successfully built programs enter the dataset, as in TenSet:
-		// failed builds never produce a latency record.
+		// failed builds never produce a latency record. The backend
+		// returns true latencies; the noise draws stay here on the
+		// generator's sequential stream, so the dataset is bitwise
+		// identical to the historical in-process path for any backend
+		// that computes the same latencies.
 		set := &TaskSet{Task: t, Best: math.Inf(1)}
-		for i, r := range sim.MeasurePool(t, schs, rng, pool) {
+		results, err := meas.Measure(context.Background(), measure.Request{
+			Device: dev.Name, Task: t, Batch: schs, Pool: pool,
+		})
+		if err != nil {
+			// Backend failure (a fleet with no reachable workers): the
+			// task contributes no entries, like a task whose builds all
+			// failed.
+			ds.Sets = append(ds.Sets, set)
+			continue
+		}
+		measure.ApplyNoise(results, rng, noise)
+		for i, r := range results {
 			if !r.Valid {
 				continue
 			}

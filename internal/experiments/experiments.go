@@ -48,6 +48,12 @@ type Config struct {
 	// multiplying. Sessions are seeded independently, so reported rows
 	// are identical at any setting.
 	Parallelism int
+	// PipelineDepth is forwarded to every tuning session (measurement
+	// rounds in flight; see tuner.Options.PipelineDepth). 0/1 is the
+	// serial loop. Reported rows are deterministic for a fixed depth but
+	// differ between depths (deeper sessions search against slightly
+	// staler history).
+	PipelineDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -282,10 +288,11 @@ var (
 func (h *harness) tune(dev *device.Device, tasks []*ir.Task, method string, seed int64) *tuner.Result {
 	sc := h.sc
 	opt := tuner.Options{
-		Trials: sc.trials,
-		Seed:   seed,
-		Pool:   h.pool, // one budget across the suite, not one per session
-		Fit:    costmodel.FitOptions{Epochs: sc.onlineEpochs, Seed: seed},
+		Trials:        sc.trials,
+		Seed:          seed,
+		Pool:          h.pool, // one budget across the suite, not one per session
+		PipelineDepth: h.cfg.PipelineDepth,
+		Fit:           costmodel.FitOptions{Epochs: sc.onlineEpochs, Seed: seed},
 	}
 	evo := search.EvoParams{Population: sc.evoPop, Generations: sc.evoGens, MutateProb: 0.85, CrossProb: 0.05}
 	lse := search.LSEParams{SpecSize: sc.specSize, Population: sc.evoPop, Steps: sc.evoGens, MutateProb: 0.85, CrossProb: 0.05}

@@ -1,0 +1,184 @@
+package measure
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pruner/internal/ir"
+	"pruner/internal/simulator"
+)
+
+// ErrWorkerBuild marks a schedule the remote worker failed to build (the
+// wire sentinel latency); it plays the role of the simulator's build
+// errors in fleet-measured results.
+var ErrWorkerBuild = fmt.Errorf("measure: worker reported failed build")
+
+// FleetOptions configure a Fleet.
+type FleetOptions struct {
+	// Client issues the HTTP requests; nil builds one with a 2-minute
+	// timeout (batches are small; workers answer in milliseconds).
+	Client *http.Client
+	// MeasureNoise is the noise scale the session applies to fleet
+	// results; 0 selects the simulator default, which is what makes a
+	// default fleet bitwise-interchangeable with the default in-process
+	// simulator.
+	MeasureNoise float64
+}
+
+// WorkerStats is one worker's dispatch accounting.
+type WorkerStats struct {
+	URL       string `json:"url"`
+	Batches   int    `json:"batches"`
+	Schedules int    `json:"schedules"`
+	Failures  int    `json:"failures"`
+}
+
+// Fleet fans measurement batches out over remote worker daemons
+// (cmd/pruner-measure) via HTTP — the TVM-RPC-runner shape. Batches are
+// assigned round-robin; a failing worker is retried on the next one, so a
+// batch only errors when every worker refused it. Safe for concurrent
+// Measure calls: the pipelined engine keeps up to its depth in flight.
+type Fleet struct {
+	workers []string
+	client  *http.Client
+	noise   float64
+	next    atomic.Int64
+
+	mu    sync.Mutex
+	stats map[string]*WorkerStats
+}
+
+// NewFleet builds a fleet over the given worker base URLs
+// ("http://host:port", no trailing slash).
+func NewFleet(urls []string, opts FleetOptions) *Fleet {
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if opts.MeasureNoise == 0 {
+		opts.MeasureNoise = simulator.DefaultMeasureNoise
+	}
+	f := &Fleet{workers: append([]string(nil), urls...), client: opts.Client, noise: opts.MeasureNoise, stats: map[string]*WorkerStats{}}
+	for _, u := range f.workers {
+		f.stats[u] = &WorkerStats{URL: u}
+	}
+	return f
+}
+
+// Info reports the fleet's metadata; Concurrency is its worker count, the
+// natural pipeline depth.
+func (f *Fleet) Info() Info {
+	return Info{Name: "fleet", Concurrency: len(f.workers), Remote: true, MeasureNoise: f.noise}
+}
+
+// Workers returns the fleet's worker URLs.
+func (f *Fleet) Workers() []string { return append([]string(nil), f.workers...) }
+
+// Stats snapshots per-worker dispatch counters, sorted by URL.
+func (f *Fleet) Stats() []WorkerStats {
+	f.mu.Lock()
+	out := make([]WorkerStats, 0, len(f.stats))
+	for _, s := range f.stats {
+		out = append(out, *s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+func (f *Fleet) note(url string, schedules int, failed bool) {
+	f.mu.Lock()
+	s := f.stats[url]
+	if s == nil {
+		s = &WorkerStats{URL: url}
+		f.stats[url] = s
+	}
+	if failed {
+		s.Failures++
+	} else {
+		s.Batches++
+		s.Schedules += schedules
+	}
+	f.mu.Unlock()
+}
+
+// Measure dispatches the batch to one worker, failing over across the
+// fleet. The returned latencies are noise-free; the session applies noise
+// at commit like any other backend.
+func (f *Fleet) Measure(ctx context.Context, req Request) ([]Result, error) {
+	if len(f.workers) == 0 {
+		return nil, fmt.Errorf("measure: fleet has no workers")
+	}
+	body, err := encodeRequest(req)
+	if err != nil {
+		return nil, fmt.Errorf("measure: encoding batch: %w", err)
+	}
+	start := int(f.next.Add(1) - 1)
+	var lastErr error
+	for attempt := 0; attempt < len(f.workers); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		url := f.workers[(start+attempt)%len(f.workers)]
+		results, err := f.post(ctx, url, body, req)
+		if err == nil {
+			f.note(url, len(req.Batch), false)
+			return results, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		f.note(url, 0, true)
+		lastErr = fmt.Errorf("%s: %w", url, err)
+	}
+	return nil, fmt.Errorf("measure: all %d fleet workers failed: %w", len(f.workers), lastErr)
+}
+
+// post executes one batch on one worker and decodes the response through
+// the record codec, in request order.
+func (f *Fleet) post(ctx context.Context, url string, body []byte, req Request) ([]Result, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/measure", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := f.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("worker: %s", e.Error)
+		}
+		return nil, fmt.Errorf("worker: HTTP %d", resp.StatusCode)
+	}
+	recs, err := ReadRecords(resp.Body, []*ir.Task{req.Task})
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != len(req.Batch) {
+		return nil, lengthError("worker "+url, len(recs), len(req.Batch))
+	}
+	results := make([]Result, len(recs))
+	for i, r := range recs {
+		if math.IsInf(r.Latency, 1) || math.IsNaN(r.Latency) || r.Latency <= 0 {
+			results[i] = Result{Latency: math.Inf(1), Err: ErrWorkerBuild}
+			continue
+		}
+		results[i] = Result{Latency: r.Latency, Valid: true}
+	}
+	return results, nil
+}

@@ -76,6 +76,9 @@ func RunLSE(ctx *Context, p LSEParams) []*schedule.Schedule {
 	// S_spec accumulates across steps (PriorFilter keeps the global top).
 	spec := map[string]scored{}
 	for step := 0; step < p.Steps; step++ {
+		if ctx.cancelled() {
+			break // the tuner discards rounds whose search was cut short
+		}
 		scores := scoreFn(pop)
 		cands := make([]scored, len(pop))
 		for i := range pop {

@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -20,6 +21,12 @@ import (
 // Context is the per-task state a policy sees when proposing the next
 // measurement batch.
 type Context struct {
+	// Ctx optionally bounds the search: policies check it between
+	// generations/iterations and return early (with whatever they have)
+	// when it is cancelled. The tuner discards a round whose search was
+	// cut short, so cancellation can never alter committed results. nil
+	// never cancels.
+	Ctx  context.Context
 	Task *ir.Task
 	Gen  *schedule.Generator
 	// RNG is the task-owned random stream. Policies must draw from it only
@@ -52,6 +59,11 @@ type Context struct {
 // no memo is installed).
 func (c *Context) lower(s *schedule.Schedule) *schedule.Lowered {
 	return c.Memo.Lower(c.Task, s)
+}
+
+// cancelled reports whether the search's context has been cancelled.
+func (c *Context) cancelled() bool {
+	return c.Ctx != nil && c.Ctx.Err() != nil
 }
 
 // chargeModel accounts n learned-model candidate evaluations.
@@ -204,6 +216,9 @@ func evolve(ctx *Context, p EvoParams, seed []*schedule.Schedule, scoreFn func([
 
 	all := map[string]scored{}
 	for gen := 0; gen < p.Generations; gen++ {
+		if ctx.cancelled() {
+			break // the tuner discards rounds whose search was cut short
+		}
 		scores := scoreFn(pop)
 		cands := make([]scored, len(pop))
 		for i := range pop {

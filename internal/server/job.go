@@ -34,6 +34,15 @@ type JobSpec struct {
 	// Fresh skips the store's cache-hit answer and warm-start history,
 	// forcing a from-scratch search (ablations, store repair).
 	Fresh bool `json:"fresh,omitempty"`
+	// Measurer selects the measurement backend: "auto" (default — the
+	// registered worker fleet when one is live, the in-process simulator
+	// otherwise), "simulator", or "fleet" (fails when no workers are
+	// registered). Results are bitwise identical across backends for the
+	// same seed.
+	Measurer string `json:"measurer,omitempty"`
+	// PipelineDepth bounds the session's in-flight measurement rounds
+	// (tuner pipelining); 0/1 is the serial loop.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 }
 
 // Event is one SSE frame of job progress. Type is one of "queued",
@@ -51,6 +60,12 @@ type Event struct {
 	// WarmRecords on the "started" event is how much store history seeded
 	// the session.
 	WarmRecords int `json:"warm_records,omitempty"`
+	// Measurer names the backend measuring this job's batches; on round
+	// events InFlight is the pipeline window's utilisation when the round
+	// committed — together they show whether a job's wall-clock is going
+	// to search or to measurement wait.
+	Measurer string `json:"measurer,omitempty"`
+	InFlight int    `json:"in_flight,omitempty"`
 	// Terminal fields.
 	Source          string `json:"source,omitempty"`
 	NewMeasurements int    `json:"new_measurements,omitempty"`
@@ -81,6 +96,8 @@ type JobResult struct {
 	NewMeasurements int `json:"new_measurements"`
 	// Interrupted marks a canceled job's partial result.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Measurer names the backend that measured the job's batches.
+	Measurer string `json:"measurer,omitempty"`
 	// SimCompileSeconds is the session's simulated tuning cost.
 	SimCompileSeconds float64 `json:"sim_compile_seconds"`
 	// Curve is the round-by-round tuning curve (absent on store hits).

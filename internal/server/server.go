@@ -9,7 +9,10 @@
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET  /v1/jobs/{id}/events  SSE round-by-round progress (replay + live)
 //	GET  /v1/best            best stored schedules for (device, network)
-//	GET  /v1/healthz         liveness + queue/store statistics
+//	GET  /v1/healthz         liveness + queue/store/fleet statistics
+//	POST /v1/measurers       register (or heartbeat) a measurement worker
+//	GET  /v1/measurers       list registered workers + dispatch stats
+//	DELETE /v1/measurers     deregister a worker (?url=...)
 //
 // Concurrency model: a bounded queue feeds a fixed set of worker
 // goroutines, and every job tunes on ONE shared parallel.Pool — the
@@ -32,6 +35,7 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"pruner"
 	"pruner/internal/ir"
@@ -61,6 +65,13 @@ type Config struct {
 	// architecture matches the bundle's kind (e.g. moa-pruner for "pacm");
 	// without it those methods are rejected at submit time.
 	Pretrained *pruner.Pretrained
+	// MeasurerTTL expires fleet workers whose last heartbeat (re-POST to
+	// /v1/measurers) is older than this; expired workers stay listed but
+	// are not dispatched to. 0 selects 2 minutes; negative never expires.
+	MeasurerTTL time.Duration
+	// MaxPipelineDepth caps the per-job pipeline_depth request
+	// (default 16).
+	MaxPipelineDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTrials <= 0 {
 		c.MaxTrials = 10 * c.DefaultTrials
 	}
+	if c.MeasurerTTL == 0 {
+		c.MeasurerTTL = 2 * time.Minute
+	}
+	if c.MaxPipelineDepth <= 0 {
+		c.MaxPipelineDepth = 16
+	}
 	return c
 }
 
@@ -96,6 +113,12 @@ type Server struct {
 	order  []string
 	nextID int
 	closed bool
+
+	// Measurer registry (measurers.go); guarded by its own mutex so fleet
+	// bookkeeping never contends with job bookkeeping.
+	mmu           sync.Mutex
+	measurers     map[string]*measurerEntry
+	measurerOrder []string
 }
 
 // New starts the worker goroutines and returns the server.
@@ -106,11 +129,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *job, cfg.QueueDepth),
-		jobs:   map[string]*job{},
+		cfg:       cfg,
+		ctx:       ctx,
+		cancel:    cancel,
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      map[string]*job{},
+		measurers: map[string]*measurerEntry{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -154,6 +178,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/best", s.handleBest)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/measurers", s.handleRegisterMeasurer)
+	mux.HandleFunc("GET /v1/measurers", s.handleListMeasurers)
+	mux.HandleFunc("DELETE /v1/measurers", s.handleDeregisterMeasurer)
 	return mux
 }
 
@@ -204,6 +231,14 @@ func (s *Server) resolve(spec *JobSpec) (*pruner.Device, *pruner.Network, []*ir.
 	// library default.
 	if spec.BatchSize < 0 || spec.BatchSize > spec.Trials {
 		return nil, nil, nil, fmt.Errorf("batch_size %d out of range [0, trials=%d]", spec.BatchSize, spec.Trials)
+	}
+	switch spec.Measurer {
+	case "", "auto", "simulator", "fleet":
+	default:
+		return nil, nil, nil, fmt.Errorf("measurer %q is not one of auto, simulator, fleet", spec.Measurer)
+	}
+	if spec.PipelineDepth < 0 || spec.PipelineDepth > s.cfg.MaxPipelineDepth {
+		return nil, nil, nil, fmt.Errorf("pipeline_depth %d out of range [0, %d]", spec.PipelineDepth, s.cfg.MaxPipelineDepth)
 	}
 	if spec.Method == "" {
 		spec.Method = string(pruner.MethodPruner)
@@ -432,6 +467,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.cfg.QueueDepth,
 		"parallelism": s.cfg.Pool.Workers(),
+		"measurers":   s.measurerStats(),
 	})
 }
 
@@ -514,19 +550,44 @@ func (s *Server) run(j *job) {
 			return
 		}
 	}
-	j.publish(StateRunning, Event{Type: "started", Trials: spec.Trials, WarmRecords: len(warm)})
 
-	res, err := pruner.Tune(dev, net, pruner.Config{
-		Method:     pruner.Method(spec.Method),
-		Trials:     spec.Trials,
-		BatchSize:  spec.BatchSize,
-		Seed:       spec.Seed,
-		MaxTasks:   spec.MaxTasks,
-		TensorCore: spec.TensorCore,
-		Pretrained: s.cfg.Pretrained,
-		Pool:       s.cfg.Pool,
-		Ctx:        ctx,
-		WarmStart:  warm,
+	// Measurement backend: the registered worker fleet when requested (or
+	// on "auto" with live workers), the in-process simulator otherwise.
+	// Both produce bitwise-identical results for the same seed, so the
+	// choice is purely about where the measurement wall-clock is spent.
+	var fleet *pruner.Fleet
+	measName := "simulator"
+	switch spec.Measurer {
+	case "", "auto":
+		if urls := s.liveMeasurerURLs(); len(urls) > 0 {
+			fleet = pruner.NewFleet(urls)
+			measName = "fleet"
+		}
+	case "simulator":
+	case "fleet":
+		urls := s.liveMeasurerURLs()
+		if len(urls) == 0 {
+			j.finish(StateFailed, nil, "measurer \"fleet\" requested but no live measurement workers are registered (POST /v1/measurers)")
+			return
+		}
+		fleet = pruner.NewFleet(urls)
+		measName = "fleet"
+	}
+
+	j.publish(StateRunning, Event{Type: "started", Trials: spec.Trials, WarmRecords: len(warm), Measurer: measName})
+
+	cfg := pruner.Config{
+		Method:        pruner.Method(spec.Method),
+		Trials:        spec.Trials,
+		BatchSize:     spec.BatchSize,
+		Seed:          spec.Seed,
+		MaxTasks:      spec.MaxTasks,
+		TensorCore:    spec.TensorCore,
+		PipelineDepth: spec.PipelineDepth,
+		Pretrained:    s.cfg.Pretrained,
+		Pool:          s.cfg.Pool,
+		Ctx:           ctx,
+		WarmStart:     warm,
 		Progress: func(ev pruner.ProgressEvent) {
 			j.publish("", Event{
 				Type:       "round",
@@ -537,19 +598,40 @@ func (s *Server) run(j *job) {
 				SimSeconds: ev.SimSeconds,
 				WorkloadMS: ms(ev.WorkloadLat),
 				TaskBestMS: ms(ev.TaskBest),
+				Measurer:   ev.Measurer,
+				InFlight:   ev.InFlight,
 			})
 		},
-	})
+	}
+	if fleet != nil {
+		cfg.Measurer = fleet
+	}
+	res, err := pruner.Tune(dev, net, cfg)
+	if fleet != nil {
+		stats := fleet.Stats()
+		acc := make([]fleetStat, len(stats))
+		for i, st := range stats {
+			acc[i] = fleetStat{URL: st.URL, Batches: st.Batches, Schedules: st.Schedules, Failures: st.Failures}
+		}
+		s.absorbStats(acc)
+	}
 	if err != nil {
 		j.finish(StateFailed, nil, err.Error())
 		return
 	}
 
 	// Persist only what this session measured; the warm prefix is already
-	// in the store.
+	// in the store. This runs even when the measurement backend failed
+	// mid-session: the committed prefix is genuine history (the failed
+	// batch itself was dropped by the tuner, so fleet trouble can never
+	// poison the store).
 	fresh := res.Records[res.Warm:]
 	if err := s.cfg.Store.Append(spec.Device, fresh); err != nil {
 		j.finish(StateFailed, nil, fmt.Sprintf("persisting records: %v", err))
+		return
+	}
+	if res.MeasureErr != nil {
+		j.finish(StateFailed, nil, fmt.Sprintf("measurement backend failed after %d measurements: %v", len(fresh), res.MeasureErr))
 		return
 	}
 
@@ -559,6 +641,7 @@ func (s *Server) run(j *job) {
 		WarmRecords:       res.Warm,
 		NewMeasurements:   len(fresh),
 		Interrupted:       res.Interrupted,
+		Measurer:          measName,
 		SimCompileSeconds: res.Clock.Total(),
 	}
 	for _, p := range res.Curve {

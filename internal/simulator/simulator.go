@@ -56,6 +56,12 @@ type Config struct {
 	MeasureNoise float64
 }
 
+// DefaultMeasureNoise is the calibrated measurement-noise stddev of a
+// default simulator. Remote measurement backends (measure.Fleet) use it as
+// their session-side noise scale so default fleet-backed and
+// simulator-backed sessions are bitwise interchangeable.
+const DefaultMeasureNoise = 0.015
+
 func (c Config) withDefaults() Config {
 	if c.ResidualScale == 0 {
 		c.ResidualScale = 0.15
@@ -67,7 +73,7 @@ func (c Config) withDefaults() Config {
 		c.FamilyCorrelation = 0.8
 	}
 	if c.MeasureNoise == 0 {
-		c.MeasureNoise = 0.015
+		c.MeasureNoise = DefaultMeasureNoise
 	}
 	return c
 }
@@ -335,17 +341,31 @@ func (s *Simulator) MeasureMemoPool(t *ir.Task, schs []*schedule.Schedule, rng *
 		}
 		out[i] = Result{Latency: lat, Valid: true}
 	})
+	ApplyNoise(out, rng, s.cfg.MeasureNoise)
+	return out
+}
+
+// MeasureNoise reports the simulator's measurement-noise stddev (the
+// measure.Sim adapter surfaces it so the session applies the configured
+// noise at commit time).
+func (s *Simulator) MeasureNoise() float64 { return s.cfg.MeasureNoise }
+
+// ApplyNoise applies one multiplicative measurement-noise draw per valid
+// result, in index order — exactly the sequence the serial measurement
+// path has always consumed, so refactors that move the noise application
+// (the measurement interface applies it at pipeline commit) stay bitwise
+// identical.
+func ApplyNoise(out []Result, rng *rand.Rand, scale float64) {
 	for i := range out {
 		if !out[i].Valid {
 			continue
 		}
-		noise := 1 + s.cfg.MeasureNoise*rng.NormFloat64()
+		noise := 1 + scale*rng.NormFloat64()
 		if noise < 0.5 {
 			noise = 0.5
 		}
 		out[i].Latency *= noise
 	}
-	return out
 }
 
 // ---------------------------------------------------------------------------

@@ -10,8 +10,9 @@
 //
 // On disk a store is a directory of per-device subdirectories, each
 // holding append-only JSONL segments (seg-000001.jsonl, ...) in the
-// record-log format of tuner.WriteRecords/ReadRecords, rotated at a size
-// threshold so no file grows unbounded. Appends are one O_APPEND write of
+// record-log format of measure.WriteRecords/ReadRecords — the same codec
+// the measurement fleet speaks on the wire — rotated at a size threshold
+// so no file grows unbounded. Appends are one O_APPEND write of
 // whole lines under a store-wide lock; a crash can therefore only ever
 // truncate the tail of the active segment. Open tolerates exactly that: a
 // final line that is cut off (or otherwise unparseable) is dropped and the
@@ -32,7 +33,7 @@ import (
 
 	"pruner/internal/costmodel"
 	"pruner/internal/ir"
-	"pruner/internal/tuner"
+	"pruner/internal/measure"
 )
 
 // Options configure a store.
@@ -251,7 +252,7 @@ func (s *Store) Append(device string, recs []costmodel.Record) error {
 		return fmt.Errorf("store: empty device key")
 	}
 	var buf bytes.Buffer
-	if err := tuner.WriteRecords(&buf, recs); err != nil {
+	if err := measure.WriteRecords(&buf, recs); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	payload := buf.Bytes()
@@ -332,7 +333,7 @@ func (s *Store) WarmStart(device string, tasks []*ir.Task) ([]costmodel.Record, 
 	if buf.Len() == 0 {
 		return nil, nil
 	}
-	recs, err := tuner.ReadRecords(&buf, tasks)
+	recs, err := measure.ReadRecords(&buf, tasks)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}

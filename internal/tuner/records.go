@@ -1,108 +1,29 @@
 package tuner
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 
 	"pruner/internal/costmodel"
 	"pruner/internal/ir"
-	"pruner/internal/schedule"
+	"pruner/internal/measure"
 )
 
-// recordJSON is the stable on-disk form of one measurement, in the spirit
-// of TVM's tuning-record log lines: enough to re-apply the best schedules
-// without re-searching.
-type recordJSON struct {
-	TaskID    string                           `json:"task_id"`
-	TaskName  string                           `json:"task_name"`
-	Spatial   [][schedule.NumSpatialLevels]int `json:"spatial_tiles"`
-	Reduce    [][schedule.NumReduceLevels]int  `json:"reduce_tiles"`
-	Unroll    int                              `json:"unroll"`
-	VectorLen int                              `json:"vector_len"`
-	Shared    bool                             `json:"use_shared"`
-	TC        bool                             `json:"tensorcore"`
-	LatencyUS float64                          `json:"latency_us"` // -1 marks failed builds
-}
+// The record codec lives in internal/measure — it is the store's segment
+// format AND the measurement fleet's wire format, and measure cannot
+// import tuner. These wrappers keep the historical tuner-level entry
+// points (cmd/pruner-tune -log/-resume) working unchanged.
 
 // WriteRecords streams measurement records as JSON lines.
 func WriteRecords(w io.Writer, recs []costmodel.Record) error {
-	enc := json.NewEncoder(w)
-	for _, r := range recs {
-		// Anything that is not a finite positive latency is a failed
-		// build and maps to the -1 sentinel. NaN and ±Inf must never
-		// reach the encoder: json.Marshal rejects them mid-stream,
-		// leaving a log with some lines written and the rest lost.
-		lat := r.Latency * 1e6
-		if math.IsNaN(lat) || math.IsInf(lat, 0) || lat < 0 {
-			lat = -1
-		}
-		line := recordJSON{
-			TaskID:    r.Task.ID,
-			TaskName:  r.Task.Name,
-			Spatial:   r.Sched.SpatialTiles,
-			Reduce:    r.Sched.ReduceTiles,
-			Unroll:    r.Sched.UnrollStep,
-			VectorLen: r.Sched.VectorLen,
-			Shared:    r.Sched.UseShared,
-			TC:        r.Sched.TensorCore,
-			LatencyUS: lat,
-		}
-		if err := enc.Encode(line); err != nil {
-			return err
-		}
-	}
-	return nil
+	return measure.WriteRecords(w, recs)
 }
 
 // ReadRecords loads a JSON-lines tuning log. Tasks are resolved by ID from
 // the provided set; records of unknown tasks are skipped (a log may cover
 // more networks than the current session).
 func ReadRecords(r io.Reader, tasks []*ir.Task) ([]costmodel.Record, error) {
-	byID := make(map[string]*ir.Task, len(tasks))
-	for _, t := range tasks {
-		byID[t.ID] = t
-	}
-	var out []costmodel.Record
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var line recordJSON
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("tuner: record line %d: %w", lineNo, err)
-		}
-		task, ok := byID[line.TaskID]
-		if !ok {
-			continue
-		}
-		sch := &schedule.Schedule{
-			SpatialTiles: line.Spatial,
-			ReduceTiles:  line.Reduce,
-			UnrollStep:   line.Unroll,
-			VectorLen:    line.VectorLen,
-			UseShared:    line.Shared,
-			TensorCore:   line.TC,
-		}
-		if err := sch.Validate(task); err != nil {
-			return nil, fmt.Errorf("tuner: record line %d: %w", lineNo, err)
-		}
-		lat := line.LatencyUS / 1e6
-		if line.LatencyUS < 0 {
-			lat = math.Inf(1)
-		}
-		out = append(out, costmodel.Record{Task: task, Sched: sch, Latency: lat})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return measure.ReadRecords(r, tasks)
 }
 
 // BestByTask reduces a record log to the best valid schedule per task.

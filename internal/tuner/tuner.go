@@ -1,11 +1,16 @@
 // Package tuner implements the paper's Algorithm 1: full-graph tuning of a
-// partitioned workload with a gradient-based task scheduler, simulated
-// on-device measurement, online cost-model training, and the MoA-Pruner
-// Momentum online Adaptation strategy (§4.3).
+// partitioned workload with a gradient-based task scheduler, pluggable
+// on-device measurement (internal/measure), online cost-model training,
+// and the MoA-Pruner Momentum online Adaptation strategy (§4.3). The
+// round loop is a pipelined engine: up to Options.PipelineDepth
+// measurement batches are in flight while search and online fits proceed,
+// with results committed in strict round order so sessions stay
+// deterministic at any worker count (DESIGN.md §9).
 package tuner
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -13,6 +18,7 @@ import (
 	"pruner/internal/costmodel"
 	"pruner/internal/device"
 	"pruner/internal/ir"
+	"pruner/internal/measure"
 	"pruner/internal/nn"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
@@ -82,17 +88,32 @@ type Options struct {
 	// nil builds a session-private pool. Sharing keeps total concurrency
 	// at the pool's budget instead of multiplying per session.
 	Pool *parallel.Pool
-	// Sim overrides the simulator (tests); nil builds the default.
+	// Measurer is the measurement backend: the in-process simulator
+	// adapter (default), a remote worker fleet, or a test fake. Backends
+	// return true latencies; the session draws measurement noise itself at
+	// commit time, which keeps results bitwise identical across backends.
+	Measurer measure.Measurer
+	// PipelineDepth bounds how many measurement rounds may be in flight at
+	// once. 1 (the default) reproduces the serial loop bitwise; higher
+	// depths overlap round r's measurement with round r+1's search and the
+	// round-r online fit, committing results in strict round order so a
+	// fixed depth is still bitwise reproducible at any Parallelism and
+	// across measurement backends.
+	PipelineDepth int
+	// Sim overrides the simulator (tests, noise ablations); nil builds the
+	// default. Kept as a compatibility alias: unless Measurer is set, the
+	// session wraps Sim in the in-process measure.Sim adapter.
 	Sim *simulator.Simulator
 	// Cost overrides the simulated-clock constants; zero uses defaults.
 	Cost simulator.CostParams
 	// DraftConfig tweaks the Symbol-based Analyzer (penalty ablations).
 	DraftConfig analyzer.Config
-	// Ctx optionally bounds the session: cancellation is observed between
-	// measurement rounds, the session stops cleanly and the partial Result
-	// (with Interrupted set) is still valid. nil never cancels.
-	// Cancellation never changes what an uncancelled prefix computes, so
-	// the determinism contract is unaffected.
+	// Ctx optionally bounds the session: cancellation is observed inside
+	// the measurement stage (in-flight batches abort mid-batch) and
+	// between pipeline stages; the session stops cleanly and the partial
+	// Result (with Interrupted set) is still valid. nil never cancels.
+	// Cancellation never changes what an uncancelled prefix of committed
+	// rounds computes, so the determinism contract is unaffected.
 	Ctx context.Context
 	// Progress, when non-nil, is invoked on the session goroutine after
 	// every measurement round (serially, in round order). Callbacks must
@@ -141,6 +162,12 @@ func (o Options) withDefaults(dev *device.Device) Options {
 	}
 	if o.Sim == nil {
 		o.Sim = simulator.New(dev)
+	}
+	if o.Measurer == nil {
+		o.Measurer = measure.NewSim(o.Sim)
+	}
+	if o.PipelineDepth <= 0 {
+		o.PipelineDepth = 1
 	}
 	if o.Cost == (simulator.CostParams{}) {
 		o.Cost = simulator.DefaultCostParams(dev)
@@ -203,6 +230,14 @@ type ProgressEvent struct {
 	// SimSeconds / WorkloadLat mirror the curve point appended this round.
 	SimSeconds  float64
 	WorkloadLat float64
+	// Measurer names the backend that executed this round's batch
+	// ("simulator", "fleet"), so observers can see where a job's time
+	// goes.
+	Measurer string
+	// InFlight is the number of measurement batches (this one included)
+	// that were in flight when the round committed — the pipeline window's
+	// utilisation; 1 on the serial path.
+	InFlight int
 }
 
 // CurvePoint is one sample of the tuning curve.
@@ -234,10 +269,18 @@ type Result struct {
 	Records []costmodel.Record
 	// Warm counts the leading warm-start records in Records.
 	Warm int
-	// Interrupted reports that Options.Ctx was cancelled before the
-	// measurement budget was spent; the Result covers the completed
-	// prefix of rounds.
+	// Interrupted reports that the session stopped before the measurement
+	// budget was spent — Options.Ctx was cancelled, or the measurement
+	// backend failed (MeasureErr). The Result covers the completed prefix
+	// of rounds.
 	Interrupted bool
+	// MeasureErr is the measurement-backend error that stopped the
+	// session, if any (a fleet whose workers all refused a batch). The
+	// failed batch and everything after it are NOT in Records: a backend
+	// failure is transient infrastructure trouble, and recording it as
+	// +Inf "failed builds" would poison the durable store and every
+	// warm-started session after it.
+	MeasureErr error
 }
 
 // WorkloadLatencyAt returns the earliest simulated time the curve reaches
@@ -395,24 +438,61 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		trainOnline()
 	}
 
+	// ------------------------------------------------------------------
+	// Pipelined round engine. Rounds flow through three stages — plan
+	// (task selection + draft/verify search), measure (the pluggable
+	// backend, in a background goroutine), commit (noise, records, online
+	// fit, curve/progress) — with at most PipelineDepth rounds in flight.
+	//
+	// Determinism: plan and commit both run on this goroutine in a fixed
+	// interleaving (commit the oldest round exactly when the window is
+	// full, then plan the next), so every random draw — scheduler picks,
+	// policy draws, measurement noise, replay sampling — happens in a
+	// deterministic order for a fixed depth, no matter how many workers
+	// the pool has or how long the backend takes. Background measurement
+	// is a pure function of the dispatched batch. Depth 1 interleaves
+	// plan(r), commit(r), plan(r+1): exactly the historical serial loop.
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	minfo := opt.Measurer.Info()
+	// mctx aborts in-flight batches the moment the session stops —
+	// whether by cancellation or by the engine returning.
+	mctx, mcancel := context.WithCancel(ctx)
+	defer mcancel()
+
+	type inflight struct {
+		round   int
+		st      *taskState
+		batch   []*schedule.Schedule
+		done    chan struct{}
+		results []measure.Result
+		err     error
+	}
+
 	rounds := (opt.Trials + opt.BatchSize - 1) / opt.BatchSize
-	for round := 0; round < rounds; round++ {
-		if opt.Ctx != nil && opt.Ctx.Err() != nil {
-			res.Interrupted = true
-			break
-		}
+
+	// plan runs round selection and the draft/verify search, pre-marks the
+	// batch as measured (so deeper pipelines never propose a schedule that
+	// is already in flight) and dispatches the batch to the backend. It
+	// reports false when the session was cancelled mid-search: a truncated
+	// batch must not be dispatched, or cancellation timing would change
+	// committed results.
+	plan := func(round int) (*inflight, bool) {
 		st := sched.next(round)
 
 		// One lowering memo per round: draft scoring, the buildability
-		// pre-filter and cost-model verification all resolve candidates
-		// through it, so each is lowered and featurized exactly once.
-		// Scoped to the round (not the session) so entries die with the
-		// round's candidate pool.
+		// pre-filter, cost-model verification and in-process measurement
+		// all resolve candidates through it, so each is lowered and
+		// featurized exactly once. Scoped to the round so entries die with
+		// the round's candidate pool.
 		memo := schedule.NewMemo()
 		if mu, ok := opt.Model.(costmodel.MemoUser); ok {
 			mu.SetMemo(memo)
 		}
-		ctx := &search.Context{
+		sctx := &search.Context{
+			Ctx:         ctx,
 			Task:        st.task,
 			Gen:         st.gen,
 			RNG:         st.rng,
@@ -425,55 +505,134 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			Cost:        opt.Cost,
 			Memo:        memo,
 		}
-		batch := opt.Policy.NextBatch(ctx, opt.BatchSize)
+		batch := opt.Policy.NextBatch(sctx, opt.BatchSize)
 		if mu, ok := opt.Model.(costmodel.MemoUser); ok {
 			mu.SetMemo(nil) // do not retain the round's programs
 		}
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		for _, s := range batch {
+			st.measuredSet[s.Fingerprint()] = true
+		}
+		f := &inflight{round: round, st: st, batch: batch, done: make(chan struct{})}
 		if len(batch) == 0 {
-			continue
+			close(f.done)
+			return f, true
 		}
-
-		results := opt.Sim.MeasureMemoPool(st.task, batch, st.rng, pool, memo)
-		lats := make([]float64, len(results))
-		for i, r := range results {
-			lats[i] = r.Latency
-			rec := costmodel.Record{Task: st.task, Sched: batch[i], Latency: r.Latency}
-			st.records = append(st.records, rec)
-			allRecords = append(allRecords, rec)
-			st.measuredSet[batch[i].Fingerprint()] = true
-			if r.Valid && r.Latency < st.best {
-				st.best = r.Latency
-				st.bestSched = batch[i]
+		go func() {
+			f.results, f.err = opt.Measurer.Measure(mctx, measure.Request{
+				Device: dev.Name,
+				Task:   st.task,
+				Batch:  batch,
+				Memo:   memo,
+				Pool:   pool,
+			})
+			if f.err == nil && len(f.results) != len(f.batch) {
+				f.err = fmt.Errorf("tuner: measurer %q returned %d results for a batch of %d",
+					minfo.Name, len(f.results), len(f.batch))
 			}
-		}
-		res.Clock.ChargeMeasurements(opt.Cost, lats)
-		st.trials += len(batch)
-		st.bestHistory = append(st.bestHistory, st.best)
+			close(f.done)
+		}()
+		return f, true
+	}
 
-		// Online cost-model update (Algorithm 1 line 13).
-		if canTrain && (round+1)%opt.TrainEvery == 0 {
-			trainOnline()
+	// commit folds one measured round into the session, in strict round
+	// order: measurement noise (drawn from the task stream, one per valid
+	// result in index order — the historical sequence), records, bests,
+	// the simulated clock, the online fit, and the curve/progress point.
+	// Empty-batch rounds still emit their curve point and Progress event
+	// (Batch=0) so round accounting is gapless for SSE consumers. Returns
+	// false when the session was cancelled before the batch finished.
+	commit := func(f *inflight, inFlight int) bool {
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return false
+		}
+		st := f.st
+		if len(f.batch) > 0 {
+			if f.err != nil {
+				if ctx.Err() != nil {
+					return false
+				}
+				// Backend failure (a fleet whose workers all refused the
+				// batch): stop the session with the completed prefix.
+				// The failed batch is dropped, not recorded — fabricating
+				// +Inf "failed build" records for transient
+				// infrastructure trouble would persist to the store and
+				// poison every warm-started session after it.
+				res.MeasureErr = f.err
+				return false
+			}
+			measure.ApplyNoise(f.results, st.rng, minfo.MeasureNoise)
+			lats := make([]float64, len(f.results))
+			for i, r := range f.results {
+				lats[i] = r.Latency
+				rec := costmodel.Record{Task: st.task, Sched: f.batch[i], Latency: r.Latency}
+				st.records = append(st.records, rec)
+				allRecords = append(allRecords, rec)
+				if r.Valid && r.Latency < st.best {
+					st.best = r.Latency
+					st.bestSched = f.batch[i]
+				}
+			}
+			res.Clock.ChargeMeasurements(opt.Cost, lats)
+			st.trials += len(f.batch)
+			st.bestHistory = append(st.bestHistory, st.best)
+
+			// Online cost-model update (Algorithm 1 line 13).
+			if canTrain && (f.round+1)%opt.TrainEvery == 0 {
+				trainOnline()
+			}
 		}
 
 		res.Curve = append(res.Curve, CurvePoint{
-			Round:       round,
+			Round:       f.round,
 			Trials:      totalTrials(states),
 			SimSeconds:  res.Clock.Total(),
 			WorkloadLat: workloadLatency(states),
 		})
 		if opt.Progress != nil {
 			opt.Progress(ProgressEvent{
-				Round:       round,
+				Round:       f.round,
 				Rounds:      rounds,
 				TaskID:      st.task.ID,
 				TaskName:    st.task.Name,
-				Batch:       len(batch),
+				Batch:       len(f.batch),
 				Trials:      totalTrials(states),
 				TaskBest:    st.best,
 				SimSeconds:  res.Clock.Total(),
 				WorkloadLat: workloadLatency(states),
+				Measurer:    minfo.Name,
+				InFlight:    inFlight,
 			})
 		}
+		return true
+	}
+
+	window := make([]*inflight, 0, opt.PipelineDepth)
+	for planned := 0; planned < rounds || len(window) > 0; {
+		if len(window) == opt.PipelineDepth || planned >= rounds {
+			f := window[0]
+			window = window[:copy(window, window[1:])]
+			if !commit(f, len(window)+1) {
+				res.Interrupted = true
+				break
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
+		f, ok := plan(planned)
+		if !ok {
+			res.Interrupted = true
+			break
+		}
+		window = append(window, f)
+		planned++
 	}
 
 	for _, st := range states {

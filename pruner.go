@@ -10,6 +10,7 @@ import (
 	"pruner/internal/dataset"
 	"pruner/internal/device"
 	"pruner/internal/ir"
+	"pruner/internal/measure"
 	"pruner/internal/nn"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
@@ -45,12 +46,34 @@ type (
 	// Pool is a shared worker budget; sessions handed the same Pool never
 	// exceed its concurrency in total (the tuning daemon relies on this).
 	Pool = parallel.Pool
+	// Measurer is a pluggable measurement backend (Config.Measurer): the
+	// in-process simulator adapter, a remote worker fleet, or a custom
+	// implementation. See internal/measure for the contract.
+	Measurer = measure.Measurer
+	// Fleet fans measurement batches out over remote pruner-measure
+	// workers via HTTP (build one with NewFleet).
+	Fleet = measure.Fleet
+	// MeasureWorker executes measurement batches for remote sessions; its
+	// Handler is the HTTP surface cmd/pruner-measure serves.
+	MeasureWorker = measure.Worker
 )
 
 // NewPool builds a worker pool with the given budget; workers <= 0 selects
 // runtime.NumCPU(). Pass it via Config.Pool to cap total concurrency
 // across concurrent sessions.
 func NewPool(workers int) *Pool { return parallel.New(workers) }
+
+// NewFleet builds a measurement fleet over pruner-measure worker base
+// URLs, with default wire settings; pass it via Config.Measurer. Results
+// are bitwise identical to in-process simulated measurement for the same
+// seed (the session draws measurement noise itself at commit time).
+func NewFleet(urls []string) *Fleet { return measure.NewFleet(urls, measure.FleetOptions{}) }
+
+// NewMeasureWorker builds a measurement worker executing batches on a
+// pool-bounded fan-out (workers <= 0 selects runtime.NumCPU()).
+func NewMeasureWorker(workers int) *MeasureWorker {
+	return measure.NewWorker(measure.WorkerOptions{Pool: parallel.New(workers)})
+}
 
 // Preset devices of the paper's evaluation.
 var (
@@ -202,6 +225,15 @@ type Config struct {
 	// concurrent sessions, overriding Parallelism; the tuning daemon
 	// hands every job the same Pool so N jobs never exceed one budget.
 	Pool *Pool
+	// Measurer selects the measurement backend; nil runs the in-process
+	// simulator adapter. A NewFleet measurer distributes batches over
+	// remote pruner-measure workers with bitwise-identical results.
+	Measurer Measurer
+	// PipelineDepth bounds in-flight measurement rounds. 1 (default) is
+	// the serial loop; higher depths overlap measurement with the next
+	// round's search and the online fit, still bitwise reproducible for a
+	// fixed depth at any Parallelism.
+	PipelineDepth int
 	// Ctx cancels the session between measurement rounds; the partial
 	// Result (Interrupted set) is still valid. nil never cancels.
 	Ctx context.Context
@@ -221,15 +253,17 @@ type Config struct {
 func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 	tasks := net.Representative(cfg.MaxTasks)
 	opt := tuner.Options{
-		Trials:      cfg.Trials,
-		BatchSize:   cfg.BatchSize,
-		Seed:        cfg.Seed,
-		TensorCore:  cfg.TensorCore,
-		Parallelism: cfg.Parallelism,
-		Pool:        cfg.Pool,
-		Ctx:         cfg.Ctx,
-		Progress:    cfg.Progress,
-		WarmStart:   cfg.WarmStart,
+		Trials:        cfg.Trials,
+		BatchSize:     cfg.BatchSize,
+		Seed:          cfg.Seed,
+		TensorCore:    cfg.TensorCore,
+		Parallelism:   cfg.Parallelism,
+		Pool:          cfg.Pool,
+		Measurer:      cfg.Measurer,
+		PipelineDepth: cfg.PipelineDepth,
+		Ctx:           cfg.Ctx,
+		Progress:      cfg.Progress,
+		WarmStart:     cfg.WarmStart,
 	}
 	needPretrained := func() ([]*nn.Tensor, error) {
 		kind := PretrainedKind(cfg.Method)
