@@ -1,11 +1,13 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same
-# targets. The repo is stdlib-only — no dependencies to fetch.
+# targets. The repo is stdlib-only — no dependencies to fetch; even the
+# determinism-contract analyzers (`make lint`, cmd/pruner-vet) are built
+# on go/ast + go/types alone.
 
 GO ?= go
 
-.PHONY: all build vet test race serve serve-e2e measure-e2e bench bench-smoke bench-parallel clean
+.PHONY: all build vet lint test race serve serve-e2e measure-e2e bench bench-smoke bench-parallel fuzz-smoke clean
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -13,15 +15,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The determinism & concurrency contract: pruner-vet runs the
+# internal/lint analyzers (globalrand, maprange, rawgo, walltime) over
+# the whole module and fails on any diagnostic, malformed directive, or
+# unused //pruner:allow suppression. See DESIGN.md §10.
+lint:
+	$(GO) build ./cmd/pruner-vet ./internal/lint
+	$(GO) run ./cmd/pruner-vet ./...
+
 test:
 	$(GO) test ./...
 
-# The parallel runtime's packages under the race detector (slow but the
-# strongest check that scoring/measurement fan-out stays data-race-free).
+# Every internal package under the race detector (slow but the strongest
+# check that scoring/measurement fan-out stays data-race-free). The list
+# is the ./internal/... pattern itself, so a newly added package cannot
+# be forgotten the way a hardcoded list could.
 race:
-	$(GO) test -race ./internal/tuner/... ./internal/search/... \
-		./internal/parallel/... ./internal/nn/... ./internal/experiments/... \
-		./internal/store/... ./internal/server/... ./internal/measure/...
+	$(GO) test -race ./internal/...
 
 # Run the tuning daemon locally (see API.md for the endpoints).
 serve:
@@ -53,6 +63,14 @@ bench-smoke:
 # Just the worker-count sweep for BENCH_*.json snapshots.
 bench-parallel:
 	$(GO) test -bench=BenchmarkTuneParallel -benchtime=1x .
+
+# Short fuzz pass over the record codec (the store's segment format and
+# the fleet's wire format) and the store's torn-tail segment replay.
+# The seed corpora also run as plain tests under `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime 10s
+	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzReadRecords$$' -fuzztime 10s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSegmentIndexTornTail$$' -fuzztime 10s
 
 clean:
 	$(GO) clean

@@ -51,6 +51,7 @@ func main() {
 	fatalIf(err)
 	httpSrv := &http.Server{Handler: worker.Handler()}
 	errCh := make(chan error, 1)
+	//pruner:allow rawgo — the HTTP serve loop blocks until shutdown; main stays on the signal select
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "pruner-measure: listening on %s\n", ln.Addr())
 
@@ -66,6 +67,7 @@ func main() {
 	if *serve != "" {
 		base := strings.TrimSuffix(*serve, "/")
 		register(base, self) // first registration failure is only a warning: the daemon may start later
+		//pruner:allow rawgo — heartbeat loop re-registering with the daemon every interval for the process lifetime; canceled with the signal ctx
 		go func() {
 			t := time.NewTicker(*heartbeat)
 			defer t.Stop()

@@ -85,6 +85,7 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
+	//pruner:allow rawgo — the HTTP serve loop blocks until shutdown; main stays on the signal select
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "pruner-serve: listening on %s\n", *addr)
 

@@ -1,0 +1,77 @@
+// Command pruner-vet runs the repo's determinism & concurrency contract
+// analyzers (internal/lint) over Go packages, in the manner of go vet:
+//
+//	pruner-vet ./...
+//	pruner-vet -checks rawgo,maprange ./internal/tuner/...
+//
+// It exits 1 if any diagnostic survives — including malformed or unused
+// //pruner:allow suppressions — and 2 if the packages fail to load.
+// `make lint` and CI run it over the whole module; a clean run is part
+// of the bitwise-reproducibility contract (DESIGN.md §10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pruner/internal/lint"
+)
+
+func main() {
+	var (
+		checks   = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		listOnly = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pruner-vet [-checks name,...] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pruner-vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pruner-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pruner-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

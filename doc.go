@@ -51,9 +51,17 @@
 // later run — including the daemon's pretrained-weight methods — reuse
 // the weights instead of re-pretraining.
 //
+// The determinism contract is machine-checked: cmd/pruner-vet (run by
+// `make lint` and CI, backed by the stdlib-only internal/lint
+// framework) enforces that no code draws from the process-global
+// math/rand source, performs order-sensitive effects under map
+// iteration, launches goroutines outside the internal/parallel pool, or
+// reads the wall clock in a deterministic layer; see DESIGN.md §10.
+//
 // See DESIGN.md for the system inventory, the simulator-substitution
 // rationale, the store/daemon architecture (§6), the batched inference
-// (§7) and training (§8) engines and the measurement subsystem +
-// pipelined round engine (§9), and EXPERIMENTS.md for the experiment
-// map and the paper-vs-measured record.
+// (§7) and training (§8) engines, the measurement subsystem +
+// pipelined round engine (§9), the enforced determinism contract
+// (§10), and EXPERIMENTS.md for the experiment map and the
+// paper-vs-measured record.
 package pruner

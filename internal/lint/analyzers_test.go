@@ -1,0 +1,47 @@
+package lint
+
+import "testing"
+
+func TestGlobalRandFixture(t *testing.T) {
+	runFixture(t, GlobalRand, "fixture/globalrand", "globalrand")
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	runFixture(t, MapRange, "fixture/maprange", "maprange")
+}
+
+func TestRawGoFixture(t *testing.T) {
+	runFixture(t, RawGo, "fixture/rawgo", "rawgo")
+}
+
+// TestRawGoAllowedPackage type-checks the same kind of code under an
+// import path ending in internal/parallel — the one package allowed to
+// own goroutines — and expects silence.
+func TestRawGoAllowedPackage(t *testing.T) {
+	pkg := loadFixture(t, "fixture/rawgo/internal/parallel", "rawgo/internal/parallel")
+	diags, err := runAnalyzers(pkg, []*Analyzer{RawGo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in exempt package: %s", d)
+	}
+}
+
+func TestWallTimeFixture(t *testing.T) {
+	runFixture(t, WallTime, "fixture/walltime/tuner", "walltime/tuner")
+}
+
+// TestWallTimeAllowedPackage runs the same check over a
+// measurement-boundary package name ("server"), where wall-clock reads
+// are the whole point, and expects silence.
+func TestWallTimeAllowedPackage(t *testing.T) {
+	pkg := loadFixture(t, "fixture/walltime/server", "walltime/server")
+	diags, err := runAnalyzers(pkg, []*Analyzer{WallTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in boundary package: %s", d)
+	}
+}

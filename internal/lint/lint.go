@@ -1,0 +1,127 @@
+// Package lint is a stdlib-only analysis framework in the style of
+// golang.org/x/tools/go/analysis, plus the analyzers that turn this
+// repo's determinism and concurrency conventions into machine-checked
+// contracts. The promise under test is the one PRs 1-5 built: results
+// are bitwise-identical at any parallelism, pipeline depth, and
+// measurement backend. That promise rests on invariants no compiler
+// enforces — every random draw comes from an owned per-task *rand.Rand,
+// map iteration is sorted before any order-sensitive effect, fan-out
+// goes through internal/parallel, and wall-clock time never leaks into
+// deterministic layers. The analyzers here encode them so CI fails the
+// moment new concurrent code (sharded control plane, fleet remediation,
+// speculative re-dispatch) breaks one.
+//
+// The framework is deliberately dependency-free: packages are discovered
+// with `go list -deps -export -json`, parsed with go/parser, and
+// type-checked with go/types against the compiler's export data, so the
+// module keeps its "stdlib only" property.
+//
+// Known-good violations are suppressed in place with
+//
+//	//pruner:allow <check> — <reason>
+//
+// on the offending line or the line above. The driver fails on
+// suppressions that are malformed, name an unknown check, lack a
+// reason, or no longer match a diagnostic, so allowlists cannot rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one check: a name (used in diagnostics and in
+// //pruner:allow directives), a short doc string, and a Run function
+// invoked once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass carries one package's syntax and type information to an
+// analyzer's Run function, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{GlobalRand, MapRange, RawGo, WallTime}
+}
+
+// byName resolves the suite into a lookup table for directive validation.
+func byName(analyzers []*Analyzer) map[string]*Analyzer {
+	m := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// runAnalyzers applies each analyzer to a loaded package and collects
+// raw (pre-suppression) diagnostics.
+func runAnalyzers(pkg *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer,
+// for stable output and stable tests.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `range` over a map whose body performs an
+// order-sensitive effect: appending to a slice, accumulating floats
+// (float addition is not associative — iteration order changes the
+// bits), sending on a channel, or invoking a callback value. Go
+// randomizes map iteration order on purpose, so any of these makes the
+// result depend on the run. The sanctioned idiom is the one
+// internal/experiments' methodsSorted uses: collect the keys, sort
+// them, then loop over the sorted slice — an append whose target is
+// sorted later in the same block is therefore not flagged.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag order-sensitive effects inside range-over-map bodies; sort keys first (see methodsSorted)",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk every statement list so each range-over-map can see the
+		// statements that follow it (where the sanctioned sort lives).
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range statement; rest is the tail of the
+// enclosing statement list after it.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range-over-map gets its own check (with its own
+			// trailing-sort window); don't double-report its body here.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"sends on a channel in map-iteration order; range over sorted keys instead (see methodsSorted)")
+		case *ast.AssignStmt:
+			if isFloatAccumulation(pass, n) {
+				pass.Reportf(n.Pos(),
+					"accumulates floating-point values in map-iteration order (float addition is not associative); range over sorted keys instead (see methodsSorted)")
+			}
+		case *ast.CallExpr:
+			switch kind, obj := classifyCall(pass, n); kind {
+			case callAppend:
+				if target := rootObject(pass, n.Args[0]); target != nil && !sortedAfter(pass, rest, target) {
+					pass.Reportf(n.Pos(),
+						"appends to %s in map-iteration order and never sorts it; collect keys and sort first (see methodsSorted)", target.Name())
+				}
+			case callDynamic:
+				name := "a function value"
+				if obj != nil {
+					name = "callback " + obj.Name()
+				}
+				pass.Reportf(n.Pos(),
+					"calls %s in map-iteration order; range over sorted keys instead (see methodsSorted)", name)
+			}
+		}
+		return true
+	})
+}
+
+// isFloatAccumulation reports whether the assignment compounds onto a
+// floating-point (or complex) accumulator: x += v, x -= v, x *= v,
+// x /= v with float-typed x. Integer accumulation commutes exactly and
+// is not flagged.
+func isFloatAccumulation(pass *Pass, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		tv, ok := pass.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok &&
+			b.Info()&(types.IsFloat|types.IsComplex) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+type callKind int
+
+const (
+	callStatic  callKind = iota // named func or method: resolved at compile time
+	callAppend                  // the append builtin
+	callDynamic                 // through a function value (parameter, field, variable)
+	callOther                   // conversion, other builtin, inline func literal
+)
+
+// classifyCall decides whether a call is the append builtin, a static
+// call, or a dynamic call through a function value. Inline func-literal
+// calls are not "dynamic": their bodies are walked directly, so any
+// order-sensitive effect inside them is flagged on its own.
+func classifyCall(pass *Pass, call *ast.CallExpr) (callKind, types.Object) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation f[T](...) resolves through the index expr.
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	} else if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			if obj.Name() == "append" && len(call.Args) > 0 {
+				return callAppend, obj
+			}
+			return callOther, nil
+		case *types.Func:
+			return callStatic, obj
+		case *types.TypeName:
+			return callOther, nil // conversion
+		case *types.Var:
+			return callDynamic, obj
+		}
+	case *ast.SelectorExpr:
+		switch obj := pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return callStatic, obj // package func or method
+		case *types.Var:
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return callDynamic, obj // func-typed field
+			}
+		case *types.TypeName:
+			return callOther, nil
+		}
+	}
+	return callOther, nil
+}
+
+// rootObject resolves the variable (or field) an expression ultimately
+// names: x, s.field, xs[i] all reduce to a types.Object usable as an
+// identity for "the same slice" across the append and the later sort.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil {
+				return obj
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether any statement in rest sorts the target:
+// a call to sort.* or slices.* mentioning the appended-to variable.
+// That is the methodsSorted shape — collect in arbitrary order, sort,
+// then do the order-sensitive work over the sorted slice.
+func sortedAfter(pass *Pass, rest []ast.Stmt, target types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsObject reports whether the expression references the object
+// anywhere (covers sort.Strings(keys), sort.Slice(keys, ...), and
+// wrapper forms like sort.Sort(byLen(keys))).
+func mentionsObject(pass *Pass, e ast.Expr, target types.Object) bool {
+	var hit bool
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}

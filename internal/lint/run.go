@@ -1,0 +1,42 @@
+package lint
+
+// Run loads the packages matched by patterns, applies every analyzer,
+// filters //pruner:allow suppressions, and returns the surviving
+// diagnostics (including malformed and unused suppressions) in stable
+// order. An empty result means the tree honors the contract.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Directive names validate against the full suite plus whatever was
+	// passed in, not just the selected subset: running `-checks
+	// walltime` must not misreport a legitimate rawgo suppression as an
+	// unknown check. A directive for a known check whose analyzer is not
+	// running this pass is simply inert — it cannot match or be unused.
+	known := byName(All())
+	selected := byName(analyzers)
+	for name, a := range selected {
+		known[name] = a
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		supps, bad := CollectSuppressions(pkg.Fset, pkg.Files, known)
+		active := supps[:0:0]
+		for _, s := range supps {
+			if selected[s.Check] != nil {
+				active = append(active, s)
+			}
+		}
+		kept, unused := ApplySuppressions(diags, active)
+		all = append(all, kept...)
+		all = append(all, bad...)
+		all = append(all, unused...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressDirective is the comment prefix that waives one diagnostic:
+//
+//	//pruner:allow <check> — <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory: an allowlist entry nobody can explain is a bug
+// waiting to be re-introduced.
+const suppressDirective = "pruner:allow"
+
+// A Suppression is one parsed //pruner:allow directive.
+type Suppression struct {
+	Check  string
+	Reason string
+	Pos    token.Position
+	used   bool
+}
+
+// CollectSuppressions extracts every //pruner:allow directive from the
+// files. Malformed directives — unknown check name or missing reason —
+// are returned as diagnostics in their own right (category "suppress"),
+// so a typo cannot silently disable enforcement.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]*Analyzer) ([]*Suppression, []Diagnostic) {
+	var supps []*Suppression
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+suppressDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				check, reason := splitDirective(text)
+				switch {
+				case check == "":
+					bad = append(bad, Diagnostic{
+						Analyzer: "suppress", Pos: pos,
+						Message: "//pruner:allow directive names no check",
+					})
+				case known[check] == nil:
+					bad = append(bad, Diagnostic{
+						Analyzer: "suppress", Pos: pos,
+						Message: fmt.Sprintf("//pruner:allow names unknown check %q", check),
+					})
+				case reason == "":
+					bad = append(bad, Diagnostic{
+						Analyzer: "suppress", Pos: pos,
+						Message: fmt.Sprintf("//pruner:allow %s has no reason; write //pruner:allow %s — <why this site is exempt>", check, check),
+					})
+				default:
+					supps = append(supps, &Suppression{Check: check, Reason: reason, Pos: pos})
+				}
+			}
+		}
+	}
+	return supps, bad
+}
+
+// splitDirective parses " rawgo — reason..." into the check name and
+// reason. The separator between them may be an em dash, "--", or ":";
+// the reason is whatever non-empty text follows.
+func splitDirective(text string) (check, reason string) {
+	text = strings.TrimSpace(text)
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return "", ""
+	}
+	check = strings.TrimRight(fields[0], ":")
+	reason = strings.TrimSpace(strings.TrimPrefix(text, fields[0]))
+	for _, sep := range []string{"—", "–", "--", "-", ":"} {
+		reason = strings.TrimSpace(strings.TrimPrefix(reason, sep))
+	}
+	return check, reason
+}
+
+// ApplySuppressions filters diagnostics covered by a directive on the
+// same or the preceding line of the same file, and returns the findings
+// that survive plus one diagnostic per directive that matched nothing —
+// unused suppressions fail the run so the allowlist cannot rot after
+// the underlying code is fixed or moved.
+func ApplySuppressions(diags []Diagnostic, supps []*Suppression) (kept []Diagnostic, unused []Diagnostic) {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	index := make(map[key]*Suppression, len(supps))
+	for _, s := range supps {
+		index[key{s.Pos.Filename, s.Pos.Line, s.Check}] = s
+	}
+	for _, d := range diags {
+		if s, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			s.used = true
+			continue
+		}
+		if s, ok := index[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+			s.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, s := range supps {
+		if !s.used {
+			unused = append(unused, Diagnostic{
+				Analyzer: "suppress",
+				Pos:      s.Pos,
+				Message:  fmt.Sprintf("unused //pruner:allow %s suppression (no %s diagnostic here anymore); delete it", s.Check, s.Check),
+			})
+		}
+	}
+	return kept, unused
+}

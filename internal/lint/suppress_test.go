@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressions drives the full directive pipeline over the suppress
+// fixture: two valid //pruner:allow directives (above-line and inline)
+// must waive their rawgo diagnostics; a directive with no reason and one
+// naming an unknown check are malformed (and do NOT suppress); a
+// directive with no matching diagnostic must surface as unused.
+func TestSuppressions(t *testing.T) {
+	pkg := loadFixture(t, "fixture/suppress", "suppress")
+	diags, err := runAnalyzers(pkg, []*Analyzer{RawGo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("rawgo found %d raw diagnostics, want 4 (one per go statement): %v", len(diags), diags)
+	}
+
+	supps, bad := CollectSuppressions(pkg.Fset, pkg.Files, byName(All()))
+	if len(supps) != 3 {
+		t.Fatalf("parsed %d valid suppressions, want 3: %+v", len(supps), supps)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 2: %v", len(bad), bad)
+	}
+	wantBad := []string{"has no reason", "unknown check"}
+	for i, d := range bad {
+		if !strings.Contains(d.Message, wantBad[i]) {
+			t.Errorf("malformed directive %d: got %q, want mention of %q", i, d.Message, wantBad[i])
+		}
+	}
+
+	kept, unused := ApplySuppressions(diags, supps)
+	// The two go statements under malformed directives survive: a broken
+	// allowlist entry must not silently suppress.
+	if len(kept) != 2 {
+		t.Fatalf("%d diagnostics survived suppression, want 2: %v", len(kept), kept)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("%d unused suppressions, want 1: %v", len(unused), unused)
+	}
+	if !strings.Contains(unused[0].Message, "unused //pruner:allow rawgo") {
+		t.Errorf("unused suppression message = %q", unused[0].Message)
+	}
+}
+
+func TestSplitDirective(t *testing.T) {
+	cases := []struct {
+		in, check, reason string
+	}{
+		{" rawgo — the http serve loop owns this goroutine", "rawgo", "the http serve loop owns this goroutine"},
+		{" rawgo -- double-dash separator", "rawgo", "double-dash separator"},
+		{" rawgo: colon separator", "rawgo", "colon separator"},
+		{" maprange emitted in fixed order", "maprange", "emitted in fixed order"},
+		{" rawgo", "rawgo", ""},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		check, reason := splitDirective(c.in)
+		if check != c.check || reason != c.reason {
+			t.Errorf("splitDirective(%q) = (%q, %q), want (%q, %q)", c.in, check, reason, c.check, c.reason)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Fixture for the globalrand analyzer: package-level math/rand draws
+// are flagged; owned *rand.Rand streams and constructors are not.
+package fixture
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Seed(42)        // want `rand\.Seed draws from the process-global source`
+	rand.Shuffle(n, nil) // want `rand\.Shuffle draws from the process-global source`
+	return rand.Intn(n)  // want `rand\.Intn draws from the process-global source`
+}
+
+func badValueRef() func() float64 {
+	return rand.Float64 // want `rand\.Float64 draws from the process-global source`
+}
+
+// good draws from an owned stream: the same method names are fine on a
+// *rand.Rand receiver.
+func good(rng *rand.Rand, n int) int {
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}
+
+// constructors build owned streams and stay legal.
+func constructors() *rand.Rand {
+	return rand.New(rand.NewSource(7))
+}

@@ -1,0 +1,96 @@
+// Fixture for the maprange analyzer: order-sensitive effects inside
+// range-over-map bodies are flagged unless the collected slice is
+// sorted afterwards (the methodsSorted idiom).
+package fixture
+
+import "sort"
+
+func appendsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys in map-iteration order`
+	}
+	return keys
+}
+
+// methodsSorted is the sanctioned idiom: collect, sort, then use.
+func methodsSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+// sortSliceIdiom is the struct-pair variant of the sanctioned idiom.
+func sortSliceIdiom(m map[string]int) []kv {
+	var pairs []kv
+	for k, v := range m {
+		pairs = append(pairs, kv{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	return pairs
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates floating-point values in map-iteration order`
+	}
+	return sum
+}
+
+// sumInts is exact under any order and stays legal.
+func sumInts(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func sends(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `sends on a channel in map-iteration order`
+	}
+}
+
+func callbacks(m map[string]int, visit func(string)) {
+	for k := range m {
+		visit(k) // want `calls callback visit in map-iteration order`
+	}
+}
+
+type visitor struct {
+	fn func(string)
+}
+
+func fieldCallback(m map[string]int, v visitor) {
+	for k := range m {
+		v.fn(k) // want `calls callback fn in map-iteration order`
+	}
+}
+
+// staticCalls and pure reads are not effects.
+func staticCalls(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}
+
+// rangeOverSlice is untouched: only maps have randomized order.
+func rangeOverSlice(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

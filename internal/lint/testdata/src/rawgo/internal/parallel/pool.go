@@ -1,0 +1,14 @@
+// Fixture for the rawgo analyzer's allowed package: this fixture is
+// type-checked under an import path ending in internal/parallel, the
+// one package that owns goroutine creation, so its go statements are
+// exempt.
+package parallel
+
+func spawn(work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,17 @@
+// Fixture for the rawgo analyzer: bare go statements outside
+// internal/parallel are flagged.
+package fixture
+
+func spawn(work func()) {
+	go work() // want `bare go statement outside internal/parallel`
+}
+
+func spawnLiteral(ch chan int) {
+	go func() { ch <- 1 }() // want `bare go statement outside internal/parallel`
+}
+
+// deferOK: only go statements are fan-out; defer is fine.
+func deferOK(work func()) {
+	defer work()
+	work()
+}

@@ -1,0 +1,26 @@
+// Fixture for the suppression machinery: valid directives (above-line
+// and same-line) waive a diagnostic; a directive with no matching
+// diagnostic, no reason, or an unknown check name must itself fail.
+package fixture
+
+func allowedAbove(work func()) {
+	//pruner:allow rawgo — fixture: this site owns its goroutine by design
+	go work()
+}
+
+func allowedInline(work func()) {
+	go work() //pruner:allow rawgo — fixture: same-line directive form
+}
+
+//pruner:allow rawgo — fixture: nothing to suppress here, must surface as unused
+func nothingHere() {}
+
+func missingReason(work func()) {
+	//pruner:allow rawgo
+	go work()
+}
+
+func unknownCheck(work func()) {
+	//pruner:allow nosuchcheck — a typo'd check name must not silently pass
+	go work()
+}

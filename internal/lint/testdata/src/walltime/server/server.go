@@ -1,0 +1,11 @@
+// Fixture for the walltime analyzer's allowed side: "server" is a
+// measurement-boundary package, so wall-clock reads are its job and
+// nothing here is flagged.
+package server
+
+import "time"
+
+func stamp() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,19 @@
+// Fixture for the walltime analyzer: this package's import path ends in
+// "tuner", a deterministic layer, so wall-clock reads are flagged.
+package tuner
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Now()            // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// durations are values, not clock reads, and stay legal everywhere.
+func double(d time.Duration) time.Duration {
+	return 2 * d
+}

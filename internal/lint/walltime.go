@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WallTime forbids reading the wall clock in the deterministic layers.
+// Tuning sessions carry their own simulated clock (internal/simulator's
+// Clock) precisely so that a session replays bit-for-bit; a time.Now in
+// a scoring or search path would thread real time back into results.
+// Timing real work is the job of the measurement boundary — server,
+// measure, and the cmd binaries — where wall time is the measurement.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Sleep and friends in deterministic packages; timing belongs to server, measure, and cmd",
+	Run:  runWallTime,
+}
+
+// deterministicPkgs are the final import-path elements of the layers
+// whose outputs must be pure functions of their inputs. time.Duration
+// and friends remain fine everywhere — only clock reads are flagged.
+var deterministicPkgs = map[string]bool{
+	"tuner": true, "search": true, "nn": true, "costmodel": true,
+	"schedule": true, "simulator": true, "features": true, "analyzer": true,
+}
+
+// wallClockFuncs are the time functions that read or wait on the real
+// clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallTime(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !deterministicPkgs[path[strings.LastIndex(path, "/")+1:]] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock inside deterministic package %q; use the session's simulated clock, or move timing to server/measure/cmd",
+					sel.Sel.Name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

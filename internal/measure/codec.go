@@ -45,12 +45,19 @@ func WriteRecords(w io.Writer, recs []costmodel.Record) error {
 		// build and maps to the -1 sentinel. NaN and ±Inf must never
 		// reach the encoder: json.Marshal rejects them mid-stream,
 		// leaving a log with some lines written and the rest lost.
+		// Classify on the latency itself, not the scaled value: a huge
+		// finite latency can overflow the microsecond field to +Inf
+		// (found by FuzzCodecRoundTrip), in which case the display
+		// field saturates and readers recover exactness from the bits.
 		lat := r.Latency * 1e6
 		bits := ""
-		if math.IsNaN(lat) || math.IsInf(lat, 0) || lat < 0 {
+		if math.IsNaN(r.Latency) || math.IsInf(r.Latency, 0) || r.Latency < 0 {
 			lat = -1
 		} else {
 			bits = strconv.FormatUint(math.Float64bits(r.Latency), 16)
+			if math.IsInf(lat, 0) {
+				lat = math.MaxFloat64
+			}
 		}
 		line := recordJSON{
 			TaskID:      r.Task.ID,

@@ -138,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
+		//pruner:allow rawgo — the daemon's job workers live for the server's lifetime and are joined by wg on Shutdown; the parallel pool is for bounded fan-out inside a session, not long-lived service loops
 		go s.worker()
 	}
 	return s, nil
@@ -156,6 +157,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	done := make(chan struct{})
+	//pruner:allow rawgo — shutdown waiter: turns wg.Wait into a select-able channel so Shutdown can honor ctx's deadline; exits as soon as the workers drain
 	go func() {
 		s.wg.Wait()
 		close(done)

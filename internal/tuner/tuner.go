@@ -520,6 +520,7 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			close(f.done)
 			return f, true
 		}
+		//pruner:allow rawgo — the pipelined round engine's single in-flight measurement; determinism is pinned by commit order (rounds fold in strictly by round index), not by when this goroutine finishes
 		go func() {
 			f.results, f.err = opt.Measurer.Measure(mctx, measure.Request{
 				Device: dev.Name,
