@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race serve serve-e2e measure-e2e bench bench-smoke bench-parallel fuzz-smoke clean
+.PHONY: all build vet lint test race serve serve-e2e measure-e2e profile bench bench-smoke bench-parallel fuzz-smoke clean
 
 all: vet lint build test
 
@@ -44,10 +44,20 @@ serve-e2e:
 # The measurement-fleet end-to-end suite under -race: pruner-serve with a
 # loopback pruner-measure worker (register -> submit -> fleet-measured
 # result byte-identical to the simulator), plus the wire-fidelity and
-# pipeline determinism contracts.
+# pipeline determinism contracts, plus the mid-session /metrics scrape of
+# daemon AND worker (TestMetrics*: exposition validated with the strict
+# stdlib parser, failing on empty or malformed output).
 measure-e2e:
-	$(GO) test -race -v -run 'TestFleet|TestMeasurer|TestWorkerFleetMatchesSimulator|TestTunePipeline' \
+	$(GO) test -race -v -run 'TestFleet|TestMeasurer|TestWorkerFleetMatchesSimulator|TestTunePipeline|TestMetrics|TestObservability' \
 		./internal/server/... ./internal/measure/... ./internal/tuner/...
+	$(GO) test -race ./internal/obs/...
+
+# Profile a representative tuning session: CPU profile + span trace from
+# one pruner-tune run, ready for `go tool pprof cpu.prof`.
+profile:
+	$(GO) test -run '^TestTunePipelineDepth1MatchesPreRefactorGolden$$' -cpuprofile cpu.prof ./internal/tuner/
+	$(GO) run ./cmd/pruner-tune -net resnet50 -trials 40 -max-tasks 2 -trace-out trace.json
+	@echo "wrote cpu.prof (go tool pprof cpu.prof) and trace.json"
 
 # Regenerate the scaled evaluation (every paper table/figure).
 bench:

@@ -12,6 +12,10 @@
 //
 //	POST /measure  execute one batch (record-codec wire format; see API.md)
 //	GET  /healthz  liveness + batch counters
+//	GET  /metrics  Prometheus text exposition of the worker's counters
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ and -log-format json
+// switches the log stream to JSON.
 //
 // Workers return true (noise-free) latencies; the session applies
 // measurement noise from its own seeded stream, so fleet-measured
@@ -24,8 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -36,6 +42,9 @@ import (
 	"pruner"
 )
 
+// logger is the worker's structured log stream (configured in main).
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 func main() {
 	var (
 		listen    = flag.String("listen", ":8151", "listen address")
@@ -43,17 +52,37 @@ func main() {
 		advertise = flag.String("advertise", "", "base URL the daemon should dispatch to (default: http://<local-host>:<listen-port>)")
 		par       = flag.Int("parallelism", 0, "measurement fan-out worker budget (0 = all CPUs)")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "re-registration interval; keep it under the daemon's -measurer-ttl")
+		logFormat = flag.String("log-format", "text", "log output format: text|json")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/goroutine profiles)")
 	)
 	flag.Parse()
+	if *logFormat == "json" {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 
-	worker := pruner.NewMeasureWorker(*par)
+	// The worker's counters live on a wall-clock observer so GET /metrics
+	// reports the same numbers /healthz does.
+	ob := pruner.NewObserver(0)
+	worker := pruner.NewObservedMeasureWorker(*par, ob)
 	ln, err := net.Listen("tcp", *listen)
 	fatalIf(err)
-	httpSrv := &http.Server{Handler: worker.Handler()}
+	handler := worker.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	//pruner:allow rawgo — the HTTP serve loop blocks until shutdown; main stays on the signal select
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "pruner-measure: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	self := *advertise
 	if self == "" {
@@ -85,7 +114,7 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "pruner-measure: shutting down...")
+		logger.Info("shutting down")
 	case err := <-errCh:
 		fatalIf(err)
 	}
@@ -93,7 +122,7 @@ func main() {
 	defer cancel()
 	httpSrv.Shutdown(shutdownCtx)
 	st := worker.Status()
-	fmt.Fprintf(os.Stderr, "pruner-measure: bye (%d batches, %d schedules served)\n", st.Batches, st.Schedules)
+	logger.Info("bye", "batches", st.Batches, "schedules", st.Schedules)
 }
 
 // advertiseHost rewrites a wildcard listen address into something a local
@@ -113,12 +142,12 @@ func register(serveBase, self string) {
 	body, _ := json.Marshal(map[string]string{"url": self})
 	resp, err := http.Post(serveBase+"/v1/measurers", "application/json", bytes.NewReader(body))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pruner-measure: registering with %s: %v\n", serveBase, err)
+		logger.Warn("registration failed", "daemon", serveBase, "measurer", self, "error", err)
 		return
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "pruner-measure: registering with %s: HTTP %d\n", serveBase, resp.StatusCode)
+		logger.Warn("registration refused", "daemon", serveBase, "measurer", self, "status", resp.StatusCode)
 	}
 }
 

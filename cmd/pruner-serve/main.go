@@ -18,6 +18,11 @@
 // have their batches measured by the fleet whenever a live worker
 // exists, with results byte-identical to in-process measurement.
 //
+// Observability: GET /metrics serves the daemon's registry in the
+// Prometheus text format, GET /v1/trace dumps recent pipeline spans,
+// -pprof mounts net/http/pprof under /debug/pprof/, and -log-format
+// json switches the structured log stream to JSON.
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight jobs stop at the next
 // round boundary, their partial measurements are persisted, and the
 // process exits once the workers drain.
@@ -28,7 +33,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,8 +59,18 @@ func main() {
 		segBytes  = flag.Int64("max-segment-bytes", 0, "store segment rotation threshold (0 = 4MiB)")
 		modelIn   = flag.String("model-in", "", "pretrained cost-model weights (pruner-tune -model-out); enables the matching pretrained-weight methods")
 		measTTL   = flag.Duration("measurer-ttl", 0, "expire fleet workers whose last heartbeat is older than this (0 = 2m, negative = never)")
+		traceCap  = flag.Int("trace-cap", 0, "span ring-buffer capacity served at /v1/trace (0 = 4096)")
+		logFormat = flag.String("log-format", "text", "log output format: text|json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error (debug logs every committed round)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/goroutine profiles)")
 	)
 	flag.Parse()
+	logger := newLogger(*logFormat, *logLevel)
+
+	// The observer is the daemon's one wall-clock boundary: jobs, the
+	// store and the fleet all report into its registry, and /metrics,
+	// /v1/trace and /v1/healthz read it back.
+	ob := pruner.NewObserver(*traceCap)
 
 	var pretrained *pruner.Pretrained
 	if *modelIn != "" {
@@ -62,14 +79,14 @@ func main() {
 		pretrained, err = pruner.LoadModel(f)
 		f.Close()
 		fatalIf(err)
-		fmt.Fprintf(os.Stderr, "pruner-serve: loaded pretrained %s weights from %s\n", pretrained.Kind, *modelIn)
+		logger.Info("loaded pretrained weights", "kind", pretrained.Kind, "path", *modelIn)
 	}
 
-	st, err := store.Open(*storeDir, store.Options{Sync: *fsync, MaxSegmentBytes: *segBytes})
+	st, err := store.Open(*storeDir, store.Options{Sync: *fsync, MaxSegmentBytes: *segBytes, Metrics: ob.Reg()})
 	fatalIf(err)
 	stats := st.Stats()
-	fmt.Fprintf(os.Stderr, "pruner-serve: store %s: %d records across %d devices (%d torn tail lines dropped)\n",
-		*storeDir, stats.Records, stats.Devices, stats.Dropped)
+	logger.Info("store opened", "dir", *storeDir, "records", stats.Records,
+		"devices", stats.Devices, "dropped_tail_lines", stats.Dropped)
 
 	srv, err := server.New(server.Config{
 		Store:         st,
@@ -80,20 +97,27 @@ func main() {
 		MaxTrials:     *maxTrials,
 		Pretrained:    pretrained,
 		MeasurerTTL:   *measTTL,
+		Obs:           ob,
+		Log:           logger,
 	})
 	fatalIf(err)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	//pruner:allow rawgo — the HTTP serve loop blocks until shutdown; main stays on the signal select
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pruner-serve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "pruner-serve: shutting down...")
+		logger.Info("shutting down")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatalIf(err)
@@ -106,11 +130,39 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "pruner-serve: workers did not drain:", err)
+		logger.Warn("workers did not drain", "error", err)
 	}
 	httpSrv.Shutdown(shutdownCtx)
 	fatalIf(st.Close())
-	fmt.Fprintln(os.Stderr, "pruner-serve: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the daemon's slog logger on stderr. Unknown formats
+// and levels fall back to text/info rather than refusing to start.
+func newLogger(format, level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
+}
+
+// withPprof mounts the net/http/pprof handlers next to the API (the
+// package's DefaultServeMux side effects are not served; the routes are
+// opt-in via -pprof only).
+func withPprof(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func fatalIf(err error) {

@@ -41,6 +41,7 @@ func main() {
 		modelOut = flag.String("model-out", "", "save the -pretrain weights to the file for reuse by later runs, pruner-serve -model-in, or examples")
 		depth    = flag.Int("pipeline-depth", 0, "measurement rounds in flight (0/1 = serial loop; higher overlaps measurement with search, deterministic per depth)")
 		fleet    = flag.String("measurers", "", "comma-separated pruner-measure worker base URLs; batches are measured by the fleet instead of in-process (bitwise-identical results)")
+		traceOut = flag.String("trace-out", "", "write the session's pipeline spans (plan/measure/commit, cost-model fit/predict) to the file as JSON; also enables wall-clock stage metrics internally")
 	)
 	flag.Parse()
 
@@ -82,6 +83,15 @@ func main() {
 		MaxTasks:      *maxTask,
 		Parallelism:   perSession,
 		PipelineDepth: *depth,
+	}
+	// Tracing rides on an injected wall clock; the readings land only in
+	// the span dump, so -trace-out changes nothing about the Result
+	// (golden fingerprints are identical armed or not). Concurrent
+	// sessions share the observer — spans carry task/round attrs.
+	var ob *pruner.Observer
+	if *traceOut != "" {
+		ob = pruner.NewObserver(0)
+		cfg.Obs = ob
 	}
 	if *fleet != "" {
 		var urls []string
@@ -218,6 +228,17 @@ func main() {
 		}
 		fatalIf(f.Close())
 		fmt.Fprintf(os.Stderr, "logged %d records to %s\n", logged, *logPath)
+	}
+
+	// Dump the span ring buffer after every session finished — failed
+	// sessions included, since their spans are exactly what one wants to
+	// look at.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatalIf(err)
+		fatalIf(pruner.WriteTrace(ob, f))
+		fatalIf(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote pipeline trace to %s\n", *traceOut)
 	}
 	if firstErr != nil {
 		os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"pruner/internal/features"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
+	"pruner/internal/obs"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 )
@@ -21,6 +22,7 @@ type TenSetMLP struct {
 	seed  int64
 	pool  *parallel.Pool
 	memo  *schedule.Memo
+	mo    *modelObs
 	tr    *trainer
 }
 
@@ -60,6 +62,9 @@ func (m *TenSetMLP) SetPool(p *parallel.Pool) { m.pool = p }
 // SetMemo implements MemoUser.
 func (m *TenSetMLP) SetMemo(mm *schedule.Memo) { m.memo = mm }
 
+// SetObserver implements ObsUser.
+func (m *TenSetMLP) SetObserver(o *obs.Observer) { m.mo = newModelObs(o, m.Name()) }
+
 func (m *TenSetMLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	rows := nn.FromRows(features.Statement(lw))
 	emb := m.embed.ForwardReLU(rows)
@@ -95,13 +100,17 @@ func (m *TenSetMLP) trainer() *trainer {
 // inference engine (batch.go), bitwise identical to the per-candidate
 // reference path.
 func (m *TenSetMLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	return m.mo.predict(len(schs), func() []float64 {
+		return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	})
 }
 
 // Fit implements Model: training runs on the data-parallel engine over
 // the session pool (rankFit, model.go).
 func (m *TenSetMLP) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	return m.mo.fit(len(recs), func() FitReport {
+		return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	})
 }
 
 // PaCM is the paper's Pattern-aware Cost Model: a multi-branch network
@@ -121,6 +130,7 @@ type PaCM struct {
 	seed      int64
 	pool      *parallel.Pool
 	memo      *schedule.Memo
+	mo        *modelObs
 	tr        *trainer
 }
 
@@ -199,6 +209,9 @@ func (m *PaCM) SetPool(p *parallel.Pool) { m.pool = p }
 // SetMemo implements MemoUser.
 func (m *PaCM) SetMemo(mm *schedule.Memo) { m.memo = mm }
 
+// SetObserver implements ObsUser.
+func (m *PaCM) SetObserver(o *obs.Observer) { m.mo = newModelObs(o, m.Name()) }
+
 func (m *PaCM) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	var parts *nn.Tensor
 	if m.UseStatement {
@@ -266,13 +279,17 @@ func (m *PaCM) trainer() *trainer {
 // inference engine (batch.go), bitwise identical to the per-candidate
 // reference path.
 func (m *PaCM) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	return m.mo.predict(len(schs), func() []float64 {
+		return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	})
 }
 
 // Fit implements Model: training runs on the data-parallel engine over
 // the session pool (rankFit, model.go).
 func (m *PaCM) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	return m.mo.fit(len(recs), func() FitReport {
+		return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	})
 }
 
 // TLP is the schedule-primitive transformer baseline. Its tokens are
@@ -287,6 +304,7 @@ type TLP struct {
 	seed int64
 	pool *parallel.Pool
 	memo *schedule.Memo
+	mo   *modelObs
 	tr   *trainer
 }
 
@@ -330,6 +348,9 @@ func (m *TLP) SetPool(p *parallel.Pool) { m.pool = p }
 // SetMemo implements MemoUser.
 func (m *TLP) SetMemo(mm *schedule.Memo) { m.memo = mm }
 
+// SetObserver implements ObsUser.
+func (m *TLP) SetObserver(o *obs.Observer) { m.mo = newModelObs(o, m.Name()) }
+
 func (m *TLP) forwardOne(lw *schedule.Lowered) *nn.Tensor {
 	tokens := nn.FromRows(features.Primitives(lw))
 	x := m.proj.Forward(tokens)
@@ -372,13 +393,17 @@ func (m *TLP) trainer() *trainer {
 // inference engine (batch.go), bitwise identical to the per-candidate
 // reference path.
 func (m *TLP) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
-	return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	return m.mo.predict(len(schs), func() []float64 {
+		return predictBatched(m.pool, m.Params(), m.memo, t, schs, m.freeze)
+	})
 }
 
 // Fit implements Model: training runs on the data-parallel engine over
 // the session pool (rankFit, model.go).
 func (m *TLP) Fit(recs []Record, opt FitOptions) FitReport {
-	return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	return m.mo.fit(len(recs), func() FitReport {
+		return rankFit(recs, opt, m.adam, m.pool, m.seed, m.trainer())
+	})
 }
 
 // PoolUser is implemented by models whose batched inference can run on a

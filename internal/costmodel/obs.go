@@ -1,0 +1,90 @@
+package costmodel
+
+import "pruner/internal/obs"
+
+// ObsUser is implemented by models that can report observability:
+// fit/predict spans into the session tracer and latency/volume metrics
+// into the registry. Like SetPool/SetMemo, the tuner wires it through a
+// type assertion, so plain models stay oblivious. Determinism holds by
+// construction: span timing flows through the injected obs.Clock (the
+// no-op clock unless a daemon armed a real one) and readings never feed
+// back into predictions.
+type ObsUser interface {
+	// SetObserver attaches the session observer; nil detaches.
+	SetObserver(o *obs.Observer)
+}
+
+// Metric names the learned models export, shared with scrape tests.
+const (
+	MetricPredictSeconds    = "pruner_costmodel_predict_seconds"
+	MetricFitSeconds        = "pruner_costmodel_fit_seconds"
+	MetricPredictCandidates = "pruner_costmodel_predict_candidates_total"
+	MetricFitRecords        = "pruner_costmodel_fit_records_total"
+)
+
+// modelObs holds one model's prepared instruments so the hot paths skip
+// registry lookups. A nil *modelObs (observer never attached) makes both
+// wrappers plain calls.
+type modelObs struct {
+	ob                *obs.Observer
+	model             string
+	predictSeconds    *obs.Histogram
+	fitSeconds        *obs.Histogram
+	predictCandidates *obs.Counter
+	fitRecords        *obs.Counter
+}
+
+// newModelObs prepares instruments for one named model; nil observer
+// yields nil (fully disarmed).
+func newModelObs(ob *obs.Observer, model string) *modelObs {
+	if ob == nil {
+		return nil
+	}
+	r := ob.Reg()
+	return &modelObs{
+		ob:    ob,
+		model: model,
+		predictSeconds: r.HistogramVec(MetricPredictSeconds,
+			"Cost model batched-inference latency by model.", nil, "model").With(model),
+		fitSeconds: r.HistogramVec(MetricFitSeconds,
+			"Cost model training-step latency by model.", nil, "model").With(model),
+		predictCandidates: r.CounterVec(MetricPredictCandidates,
+			"Candidate schedules scored by model.", "model").With(model),
+		fitRecords: r.CounterVec(MetricFitRecords,
+			"Measurement records consumed by training steps, by model.", "model").With(model),
+	}
+}
+
+// predict runs f under a costmodel.predict span and observes its latency
+// and candidate volume.
+func (mo *modelObs) predict(candidates int, f func() []float64) []float64 {
+	if mo == nil {
+		return f()
+	}
+	clock := mo.ob.Clock()
+	start := clock.Now()
+	sp := mo.ob.Trace().Start("costmodel.predict",
+		obs.String("model", mo.model), obs.Int("candidates", candidates))
+	out := f()
+	sp.End()
+	mo.predictSeconds.Observe(obs.Seconds(clock, start))
+	mo.predictCandidates.Add(float64(candidates))
+	return out
+}
+
+// fit runs f under a costmodel.fit span and observes its latency and
+// record volume.
+func (mo *modelObs) fit(records int, f func() FitReport) FitReport {
+	if mo == nil {
+		return f()
+	}
+	clock := mo.ob.Clock()
+	start := clock.Now()
+	sp := mo.ob.Trace().Start("costmodel.fit",
+		obs.String("model", mo.model), obs.Int("records", records))
+	rep := f()
+	sp.End(obs.Int("batches", rep.Batches))
+	mo.fitSeconds.Observe(obs.Seconds(clock, start))
+	mo.fitRecords.Add(float64(records))
+	return rep
+}

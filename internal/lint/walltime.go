@@ -24,6 +24,11 @@ var WallTime = &Analyzer{
 var deterministicPkgs = map[string]bool{
 	"tuner": true, "search": true, "nn": true, "costmodel": true,
 	"schedule": true, "simulator": true, "features": true, "analyzer": true,
+	// obs is the clock-injection seam itself: its one RealClock read
+	// carries the single reasoned suppression; everything else in the
+	// package must go through an injected Clock like any other
+	// deterministic layer.
+	"obs": true,
 }
 
 // wallClockFuncs are the time functions that read or wait on the real

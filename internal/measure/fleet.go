@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pruner/internal/ir"
+	"pruner/internal/obs"
 	"pruner/internal/simulator"
 )
 
@@ -32,6 +33,11 @@ type FleetOptions struct {
 	// default fleet bitwise-interchangeable with the default in-process
 	// simulator.
 	MeasureNoise float64
+	// Metrics, when non-nil, receives live per-worker dispatch counters
+	// and batch-latency histograms (pruner_fleet_* — see metrics.go).
+	// Hand a fleet the daemon's long-lived registry and per-worker
+	// totals accumulate across jobs, scrapeable mid-session.
+	Metrics *obs.Registry
 }
 
 // WorkerStats is one worker's dispatch accounting.
@@ -55,6 +61,13 @@ type Fleet struct {
 
 	mu    sync.Mutex
 	stats map[string]*WorkerStats
+
+	// Registry-backed mirrors of the dispatch accounting (nil without
+	// FleetOptions.Metrics; every use is then a no-op).
+	mBatches   *obs.CounterVec
+	mSchedules *obs.CounterVec
+	mFailures  *obs.CounterVec
+	mLatency   *obs.HistogramVec
 }
 
 // NewFleet builds a fleet over the given worker base URLs
@@ -67,8 +80,22 @@ func NewFleet(urls []string, opts FleetOptions) *Fleet {
 		opts.MeasureNoise = simulator.DefaultMeasureNoise
 	}
 	f := &Fleet{workers: append([]string(nil), urls...), client: opts.Client, noise: opts.MeasureNoise, stats: map[string]*WorkerStats{}}
+	reg := opts.Metrics
+	f.mBatches = reg.CounterVec(MetricFleetBatches,
+		"Measurement batches dispatched, by worker URL.", "worker")
+	f.mSchedules = reg.CounterVec(MetricFleetSchedules,
+		"Schedules measured, by worker URL.", "worker")
+	f.mFailures = reg.CounterVec(MetricFleetFailures,
+		"Failed dispatch attempts, by worker URL.", "worker")
+	f.mLatency = reg.HistogramVec(MetricFleetBatchSeconds,
+		"Successful batch round-trip latency, by worker URL.", nil, "worker")
 	for _, u := range f.workers {
 		f.stats[u] = &WorkerStats{URL: u}
+		// Pre-touch the counters so every worker appears in scrapes from
+		// the first one, failures included, at zero.
+		f.mBatches.With(u).Add(0)
+		f.mSchedules.With(u).Add(0)
+		f.mFailures.With(u).Add(0)
 	}
 	return f
 }
@@ -108,6 +135,12 @@ func (f *Fleet) note(url string, schedules int, failed bool) {
 		s.Schedules += schedules
 	}
 	f.mu.Unlock()
+	if failed {
+		f.mFailures.With(url).Inc()
+	} else {
+		f.mBatches.With(url).Inc()
+		f.mSchedules.With(url).Add(float64(schedules))
+	}
 }
 
 // Measure dispatches the batch to one worker, failing over across the
@@ -128,9 +161,11 @@ func (f *Fleet) Measure(ctx context.Context, req Request) ([]Result, error) {
 			return nil, err
 		}
 		url := f.workers[(start+attempt)%len(f.workers)]
+		postStart := time.Now()
 		results, err := f.post(ctx, url, body, req)
 		if err == nil {
 			f.note(url, len(req.Batch), false)
+			f.mLatency.With(url).Observe(time.Since(postStart).Seconds())
 			return results, nil
 		}
 		if ctx.Err() != nil {

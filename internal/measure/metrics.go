@@ -1,0 +1,28 @@
+package measure
+
+// Metric names the measurement layer exports when armed with a registry.
+// The serving daemon's healthz builds its per-measurer view by reading
+// these back from the same registry /metrics scrapes, so the two can
+// never disagree.
+const (
+	// MetricFleetBatches counts batches dispatched per worker (label:
+	// worker URL).
+	MetricFleetBatches = "pruner_fleet_worker_batches_total"
+	// MetricFleetSchedules counts schedules measured per worker.
+	MetricFleetSchedules = "pruner_fleet_worker_schedules_total"
+	// MetricFleetFailures counts failed dispatch attempts per worker.
+	MetricFleetFailures = "pruner_fleet_worker_failures_total"
+	// MetricFleetBatchSeconds is a histogram of successful batch
+	// round-trip latency per worker.
+	MetricFleetBatchSeconds = "pruner_fleet_batch_seconds"
+
+	// MetricWorkerBatches counts batches a worker daemon executed.
+	MetricWorkerBatches = "pruner_worker_batches_total"
+	// MetricWorkerSchedules counts schedules a worker daemon executed.
+	MetricWorkerSchedules = "pruner_worker_schedules_total"
+	// MetricWorkerBusy gauges in-flight measure requests on a worker.
+	MetricWorkerBusy = "pruner_worker_busy"
+	// MetricWorkerMeasureSeconds is a histogram of per-batch execution
+	// latency on a worker daemon.
+	MetricWorkerMeasureSeconds = "pruner_worker_measure_seconds"
+)

@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pruner/internal/costmodel"
 	"pruner/internal/device"
 	"pruner/internal/ir"
+	"pruner/internal/obs"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/simulator"
@@ -35,6 +37,10 @@ type WorkerOptions struct {
 	// simulators (tests); the zero value selects the calibrated defaults,
 	// matching in-process sessions.
 	SimConfig simulator.Config
+	// Metrics, when non-nil, exposes the worker's counters as
+	// func-backed metrics (pruner_worker_* — see metrics.go) and mounts
+	// GET /metrics on the worker's handler.
+	Metrics *obs.Registry
 }
 
 // Worker executes measurement batches on behalf of remote tuning
@@ -51,6 +57,8 @@ type Worker struct {
 	batches   atomic.Int64
 	schedules atomic.Int64
 	busy      atomic.Int64
+
+	measureSeconds *obs.Histogram // nil without WorkerOptions.Metrics
 }
 
 // NewWorker builds a worker.
@@ -58,7 +66,20 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if opts.Pool == nil {
 		opts.Pool = parallel.New(0)
 	}
-	return &Worker{opts: opts, sims: map[string]*simulator.Simulator{}}
+	w := &Worker{opts: opts, sims: map[string]*simulator.Simulator{}}
+	if reg := opts.Metrics; reg != nil {
+		// Func-backed counters sample the same atomics /healthz reports,
+		// so a scrape and a health check can never disagree.
+		reg.CounterFunc(MetricWorkerBatches, "Measurement batches executed.",
+			func() float64 { return float64(w.batches.Load()) })
+		reg.CounterFunc(MetricWorkerSchedules, "Schedules executed.",
+			func() float64 { return float64(w.schedules.Load()) })
+		reg.GaugeFunc(MetricWorkerBusy, "In-flight measure requests.",
+			func() float64 { return float64(w.busy.Load()) })
+		w.measureSeconds = reg.Histogram(MetricWorkerMeasureSeconds,
+			"Per-batch execution latency.", nil)
+	}
+	return w
 }
 
 // sim returns the worker's simulator for a device, building it on first
@@ -110,6 +131,12 @@ func (w *Worker) Handler() http.Handler {
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(w.Status())
 	})
+	if reg := w.opts.Metrics; reg != nil {
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WriteText(rw)
+		})
+	}
 	return mux
 }
 
@@ -156,6 +183,7 @@ func (w *Worker) handleMeasure(rw http.ResponseWriter, r *http.Request) {
 	// round) is observed between schedules.
 	ctx := r.Context()
 	memo := schedule.NewMemo()
+	execStart := time.Now()
 	var canceled atomic.Bool
 	w.opts.Pool.ForEach(len(recs), func(i int) {
 		if canceled.Load() {
@@ -177,6 +205,7 @@ func (w *Worker) handleMeasure(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.batches.Add(1)
 	w.schedules.Add(int64(len(recs)))
+	w.measureSeconds.Observe(time.Since(execStart).Seconds())
 
 	rw.Header().Set("Content-Type", "application/x-ndjson")
 	if err := WriteRecords(rw, recs); err != nil {

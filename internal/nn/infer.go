@@ -66,6 +66,8 @@ func matmulFusedNz(x, w *Tensor, bias []float64, relu bool, nz []int) *Tensor {
 	if x.C != w.R {
 		panic(fmt.Sprintf("nn: matmulFused %dx%d @ %dx%d", x.R, x.C, w.R, w.C))
 	}
+	engineGEMMCalls.Add(1)
+	engineGEMMRows.Add(uint64(x.R))
 	K, C := x.C, w.C
 	out := New(x.R, C)
 	i := 0
@@ -465,6 +467,7 @@ func (a *FrozenAttention) ForwardSegmentsDedup(uniq *Tensor, idx []int, lens []i
 // same order as the operator chain it replaces
 // (SoftmaxRows(Scale(MatMul(qs, ksᵀ))) @ vs).
 func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
+	engineAttnSegments.Add(uint64(len(lens)))
 	C := x.C
 	ctx := New(x.R, C)
 	scale := 1 / math.Sqrt(float64(a.dim))

@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// Clock is the observability time source: nanoseconds since the Unix
+// epoch. It exists so the deterministic layers can time spans without
+// reading the wall clock themselves — they receive a Clock from the
+// boundary that owns time (cmd binaries, the serving daemon) and the
+// walltime analyzer keeps literal time.Now calls out of them AND out of
+// this package, save for the one reasoned exception below.
+type Clock interface {
+	// Now returns the current time in nanoseconds since the Unix epoch.
+	Now() int64
+}
+
+type realClock struct{}
+
+func (realClock) Now() int64 {
+	//pruner:allow walltime — the single sanctioned wall-clock read of the observability layer: RealClock is only ever injected at the cmd/server boundary, and its readings flow into metrics and spans, never into tuning results
+	return time.Now().UnixNano()
+}
+
+// RealClock returns the wall-clock time source. Inject it ONLY at the
+// cmd/server boundary; handing it deeper is safe for determinism (clock
+// readings never influence results) but defeats the point of the seam.
+func RealClock() Clock { return realClock{} }
+
+type nopClock struct{}
+
+func (nopClock) Now() int64 { return 0 }
+
+// NopClock returns the zero clock: every reading is 0, so spans and
+// duration metrics observed through it are constant — the default for
+// deterministic code paths that nobody is observing.
+func NopClock() Clock { return nopClock{} }

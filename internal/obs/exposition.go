@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histBound is one finite histogram bucket observed while validating.
+type histBound struct {
+	le    float64
+	count float64
+}
+
+// histChild is the per-(family, labelset) state the validator folds
+// histogram samples into before checking invariants.
+type histChild struct {
+	buckets  []histBound
+	infCount float64
+	sawInf   bool
+	sum, cnt float64
+	sawSum   bool
+	sawCnt   bool
+}
+
+// ValidateText is a strict parser for the Prometheus text exposition
+// format (version 0.0.4) — the library half of the scrape tests and the
+// measure-e2e CI check, so "GET /metrics serves valid exposition" is a
+// single shared predicate instead of per-test regexes. It checks, per
+// line: metric/label name syntax, label quoting and escapes, and float
+// sample values; and per family: that a # TYPE precedes its samples, that
+// sample names match the family (histograms may only emit _bucket, _sum
+// and _count), that counter samples are non-negative, and that every
+// histogram child has cumulative buckets ending in le="+Inf" equal to its
+// _count. Empty input is an error: a scrape that returns nothing is a
+// broken exporter, not a healthy one.
+func ValidateText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	types := map[string]string{}     // family -> kind
+	helped := map[string]bool{}      // family -> saw # HELP
+	samples := 0
+	hists := map[string]*histChild{} // family \xff labelkey -> state
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, helped); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		fam, suffix := sampleFamily(name, types)
+		kind, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q precedes its # TYPE line", lineNo, name)
+		}
+		switch kind {
+		case "histogram", "summary":
+			if suffix == "" && kind == "histogram" {
+				return fmt.Errorf("line %d: histogram %q emitted a bare sample; want _bucket/_sum/_count", lineNo, fam)
+			}
+			if kind == "histogram" {
+				if err := foldHistogramSample(hists, fam, suffix, labels, value); err != nil {
+					return fmt.Errorf("line %d: %w", lineNo, err)
+				}
+			}
+		case "counter":
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %q has negative value %g", lineNo, name, value)
+			}
+		case "gauge", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q for %q", lineNo, kind, fam)
+		}
+		_ = helped
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition carries no samples")
+	}
+	// Histogram invariants hold per child across the whole scrape.
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		fam := strings.SplitN(k, "\xff", 2)[0]
+		sort.Slice(h.buckets, func(i, j int) bool { return h.buckets[i].le < h.buckets[j].le })
+		prev := 0.0
+		for _, b := range h.buckets {
+			if b.count < prev {
+				return fmt.Errorf("histogram %q: bucket le=%g count %g below previous bucket %g (not cumulative)", fam, b.le, b.count, prev)
+			}
+			prev = b.count
+		}
+		if !h.sawInf {
+			return fmt.Errorf("histogram %q is missing its le=\"+Inf\" bucket", fam)
+		}
+		if h.infCount < prev {
+			return fmt.Errorf("histogram %q: +Inf bucket %g below largest finite bucket %g", fam, h.infCount, prev)
+		}
+		if !h.sawSum || !h.sawCnt {
+			return fmt.Errorf("histogram %q is missing _sum or _count", fam)
+		}
+		if h.cnt != h.infCount {
+			return fmt.Errorf("histogram %q: _count %g != +Inf bucket %g", fam, h.cnt, h.infCount)
+		}
+	}
+	return nil
+}
+
+// validateComment checks # HELP / # TYPE lines (other comments pass).
+func validateComment(line string, types map[string]string, helped map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kind := fields[2], strings.TrimSpace(fields[3])
+		if !validName(name) {
+			return fmt.Errorf("TYPE line names invalid metric %q", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE line for %q has unknown kind %q", name, kind)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE line for %q", name)
+		}
+		types[name] = kind
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		helped[fields[2]] = true
+	}
+	return nil
+}
+
+// sampleFamily maps a sample name to its family, honoring histogram
+// suffixes: "x_bucket" belongs to family "x" when x is a histogram.
+func sampleFamily(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, s); ok {
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}
+
+// foldHistogramSample accumulates one histogram-family sample into the
+// per-child invariant state.
+func foldHistogramSample(hists map[string]*histChild, fam, suffix string, labels map[string]string, value float64) error {
+	le, hasLE := labels["le"]
+	childLabels := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			childLabels = append(childLabels, k+"="+v)
+		}
+	}
+	sort.Strings(childLabels)
+	key := fam + "\xff" + strings.Join(childLabels, ",")
+	h := hists[key]
+	if h == nil {
+		h = &histChild{}
+		hists[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		if !hasLE {
+			return fmt.Errorf("histogram %q bucket sample has no le label", fam)
+		}
+		if le == "+Inf" {
+			h.sawInf, h.infCount = true, value
+			return nil
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %q bucket has unparseable le=%q", fam, le)
+		}
+		h.buckets = append(h.buckets, histBound{bound, value})
+	case "_sum":
+		h.sawSum, h.sum = true, value
+	case "_count":
+		h.sawCnt, h.cnt = true, value
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, labels and value.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	labels = map[string]string{}
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		name = rest[:brace]
+		var consumed int
+		labels, consumed, err = parseLabels(rest[brace:])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: %w", name, err)
+		}
+		rest = rest[brace+consumed:]
+	} else {
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample line %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q has %d value fields, want 1 (plus optional timestamp)", name, len(fields))
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: %w", name, err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("sample %q has unparseable timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{',
+// returning the labels and how many bytes were consumed.
+func parseLabels(s string) (map[string]string, int, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, 0, fmt.Errorf("unterminated label block")
+		}
+		key := s[start:i]
+		if !validLabel(key) {
+			return nil, 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, 0, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, 0, fmt.Errorf("unterminated value for label %q", key)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return nil, 0, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], key)
+				}
+				i += 2
+				continue
+			case '"':
+				i++
+			default:
+				val.WriteByte(s[i])
+				i++
+				continue
+			}
+			break
+		}
+		if _, dup := labels[key]; dup {
+			return nil, 0, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+	}
+}

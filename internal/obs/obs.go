@@ -1,0 +1,100 @@
+// Package obs is the tuning stack's observability layer: a stdlib-only
+// metrics registry with Prometheus text-format exposition, a
+// ring-buffered in-process span tracer, and the clock-injection seam
+// that lets the deterministic layers be instrumented without ever
+// reading the wall clock themselves.
+//
+// Three pieces:
+//
+//   - Registry (registry.go): counters, gauges and fixed-bucket
+//     histograms, plain or labelled, plus func-backed metrics sampled at
+//     scrape time. WriteText emits the Prometheus text exposition format
+//     served at GET /metrics by pruner-serve and pruner-measure;
+//     ValidateText (exposition.go) is the strict parser the scrape tests
+//     and the measure-e2e CI job check it with.
+//
+//   - Tracer + TraceSink (trace.go): per-stage spans of the tuning
+//     pipeline (plan/measure/commit, cost-model fit/predict) collected
+//     into a fixed-capacity ring buffer; the daemon serves it as
+//     GET /v1/trace and pruner-tune dumps it with -trace-out.
+//
+//   - Clock (clock.go): the determinism seam. Deterministic layers
+//     (tuner, costmodel, nn, ...) may never call time.Now — the walltime
+//     analyzer enforces it, including for this package — so spans are
+//     timed through an injected Clock. The cmd/server boundary injects
+//     the real clock (the one reasoned //pruner:allow in clock.go);
+//     everywhere else the no-op clock makes timing a constant zero.
+//     Either way the readings flow only into metrics and spans, never
+//     back into results, so golden fingerprints are bitwise unchanged
+//     with observability fully enabled.
+//
+// Every instrument and the Observer itself are nil-receiver safe: code
+// instruments unconditionally, and a nil Observer (no daemon attached)
+// costs a handful of nil checks per round.
+package obs
+
+// Observer bundles the two observability channels a session can be
+// handed: a metrics registry and a span tracer. A nil *Observer (and nil
+// fields) disables everything — instrumented code never has to check.
+type Observer struct {
+	// Registry receives the session's metrics; nil drops them.
+	Registry *Registry
+	// Tracer receives the session's spans; nil drops them.
+	Tracer *Tracer
+}
+
+// New builds a fully-armed observer: a fresh registry and a tracer
+// writing to a ring sink of traceCap spans (<= 0 selects 4096), timed by
+// clock (nil selects the no-op clock — pass RealClock() only at the
+// cmd/server boundary).
+func New(clock Clock, traceCap int) *Observer {
+	if clock == nil {
+		clock = NopClock()
+	}
+	return &Observer{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(clock, NewTraceSink(traceCap)),
+	}
+}
+
+// Reg returns the observer's registry, nil-safe.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Trace returns the observer's tracer, nil-safe.
+func (o *Observer) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Clock returns the tracer's clock, or the no-op clock when the observer
+// is absent — instrumented code times durations through this without
+// caring whether anyone is watching.
+func (o *Observer) Clock() Clock {
+	if o == nil || o.Tracer == nil || o.Tracer.clock == nil {
+		return NopClock()
+	}
+	return o.Tracer.clock
+}
+
+// Sink returns the tracer's ring sink, nil-safe (the daemon's /v1/trace
+// and the CLIs' -trace-out read it).
+func (o *Observer) Sink() *TraceSink {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.sink
+}
+
+// Seconds converts a Clock interval (start as returned by Clock.Now) to
+// seconds against the same clock — the standard way instrumented code
+// turns span timing into histogram observations.
+func Seconds(c Clock, startNanos int64) float64 {
+	return float64(c.Now()-startNanos) / 1e9
+}

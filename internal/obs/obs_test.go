@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pruner_test_total", "a test counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value = %v, want 3.5", got)
+	}
+	v := r.CounterVec("pruner_test_labeled_total", "labeled", "worker")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Add(5)
+	if got, ok := r.Value("pruner_test_labeled_total", "a"); !ok || got != 2 {
+		t.Fatalf("Value(a) = %v,%v want 2,true", got, ok)
+	}
+	if got := r.Sum("pruner_test_labeled_total"); got != 7 {
+		t.Fatalf("Sum = %v, want 7", got)
+	}
+}
+
+func TestRegistryIdempotentAndPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Gauge("pruner_test_gauge", "g")
+	b := r.Gauge("pruner_test_gauge", "g")
+	a.Set(4)
+	if b.Value() != 4 {
+		t.Fatalf("re-registration did not return the same instrument")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("kind mismatch did not panic")
+			}
+		}()
+		r.Counter("pruner_test_gauge", "now a counter")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("invalid name did not panic")
+			}
+		}()
+		r.Counter("0bad-name", "bad")
+	}()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pruner_test_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 55.55 {
+		t.Fatalf("sum = %v, want 55.55", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`pruner_test_seconds_bucket{le="0.1"} 1`,
+		`pruner_test_seconds_bucket{le="1"} 2`,
+		`pruner_test_seconds_bucket{le="10"} 3`,
+		`pruner_test_seconds_bucket{le="+Inf"} 4`,
+		`pruner_test_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteTextIsValidAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pruner_z_total", "last alphabetically").Add(1)
+	r.GaugeFunc("pruner_a_gauge", "func-backed", func() float64 { return 42 })
+	hv := r.HistogramVec("pruner_m_seconds", "labeled histogram", nil, "stage")
+	hv.With("plan").Observe(0.002)
+	hv.With(`we"ird\la🐛bel` + "\n").Observe(3)
+	cv := r.CounterVec("pruner_w_total", "worker counter", "worker", "kind")
+	cv.With("http://w1", "batch").Add(3)
+	cv.With("http://w2", "batch").Add(9)
+
+	var first strings.Builder
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateText(strings.NewReader(first.String())); err != nil {
+		t.Fatalf("own exposition does not validate: %v\n%s", err, first.String())
+	}
+	var second strings.Builder
+	if err := r.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("two scrapes of an unchanged registry differ:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+	if !strings.Contains(first.String(), "pruner_a_gauge 42") {
+		t.Fatalf("func-backed gauge missing:\n%s", first.String())
+	}
+}
+
+func TestValidateTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no type":           "pruner_x_total 3\n",
+		"bad name":          "# TYPE 9bad counter\n9bad 3\n",
+		"bad value":         "# TYPE pruner_x_total counter\npruner_x_total zebra\n",
+		"negative counter":  "# TYPE pruner_x_total counter\npruner_x_total -1\n",
+		"unterminated":      "# TYPE pruner_x gauge\npruner_x{a=\"b 3\n",
+		"missing inf":       "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 1\npruner_h_sum 1\npruner_h_count 1\n",
+		"non-cumulative":    "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 5\npruner_h_bucket{le=\"2\"} 3\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 5\n",
+		"count != inf":      "# TYPE pruner_h histogram\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 4\n",
+		"dup label":         "# TYPE pruner_x gauge\npruner_x{a=\"b\",a=\"c\"} 3\n",
+		"unknown type":      "# TYPE pruner_x rainbow\npruner_x 3\n",
+	}
+	for name, in := range cases {
+		if err := ValidateText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ValidateText accepted malformed input %q", name, in)
+		}
+	}
+	good := "# HELP pruner_x_total fine\n# TYPE pruner_x_total counter\npruner_x_total{a=\"b\\\"c\\\\d\\ne\"} 3 1700000000000\n"
+	if err := ValidateText(strings.NewReader(good)); err != nil {
+		t.Errorf("ValidateText rejected valid input: %v", err)
+	}
+}
+
+func TestTraceSinkRing(t *testing.T) {
+	s := NewTraceSink(3)
+	for i := 0; i < 5; i++ {
+		s.Append(Span{Name: "s", Start: int64(i)})
+	}
+	if s.Total() != 5 {
+		t.Fatalf("total = %d, want 5", s.Total())
+	}
+	got := s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained = %d, want 3", len(got))
+	}
+	for i, sp := range got {
+		if want := int64(i + 2); sp.Start != want {
+			t.Fatalf("snapshot[%d].Start = %d, want %d (oldest-first after eviction)", i, sp.Start, want)
+		}
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"total_spans": 5`, `"retained_spans": 3`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("trace dump missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+type stepClock struct{ t int64 }
+
+func (c *stepClock) Now() int64 { c.t += 1e9; return c.t }
+
+func TestTracerSpans(t *testing.T) {
+	sink := NewTraceSink(8)
+	tr := NewTracer(&stepClock{}, sink)
+	sp := tr.Start("round", Int("round", 3))
+	sp.End(String("measurer", "sim"))
+	spans := sink.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	got := spans[0]
+	if got.Name != "round" || got.End-got.Start != 1e9 || len(got.Attrs) != 2 {
+		t.Fatalf("unexpected span %+v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	o.Reg().Counter("pruner_nil_total", "x").Inc()
+	o.Reg().CounterVec("pruner_nil_vec_total", "x", "l").With("a").Add(2)
+	o.Reg().Gauge("pruner_nil_gauge", "x").Set(1)
+	o.Reg().Histogram("pruner_nil_seconds", "x", nil).Observe(0.1)
+	o.Trace().Start("nothing").End()
+	if o.Sink() != nil {
+		t.Fatalf("nil observer returned a sink")
+	}
+	if o.Clock().Now() != 0 {
+		t.Fatalf("nil observer clock is not the no-op clock")
+	}
+	var sink *TraceSink
+	sink.Append(Span{})
+	if sink.Snapshot() != nil || sink.Total() != 0 {
+		t.Fatalf("nil sink misbehaved")
+	}
+	var span *ActiveSpan
+	span.End() // must not panic
+	if got, ok := o.Reg().Value("pruner_nil_total"); ok || got != 0 {
+		t.Fatalf("nil registry Value = %v,%v", got, ok)
+	}
+}
+
+func TestClocks(t *testing.T) {
+	before := time.Now().UnixNano()
+	got := RealClock().Now()
+	after := time.Now().UnixNano()
+	if got < before || got > after {
+		t.Fatalf("RealClock out of range: %d not in [%d,%d]", got, before, after)
+	}
+	if NopClock().Now() != 0 {
+		t.Fatalf("NopClock is not zero")
+	}
+	if Seconds(NopClock(), 0) != 0 {
+		t.Fatalf("Seconds under NopClock is not zero")
+	}
+}

@@ -1,0 +1,572 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration is idempotent — asking for an existing
+// name with the same kind and label set returns the existing instrument,
+// so long-lived daemons and per-session code can both "register"
+// unconditionally — and mismatched re-registration panics (a programming
+// error, caught by the first scrape test).
+//
+// All methods are safe for concurrent use and nil-receiver safe: a nil
+// *Registry hands out nil instruments, whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Metric kinds, as exposed on # TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric with a fixed kind and label schema; its
+// children are the per-labelset series.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	labels  []string
+	buckets []float64      // histograms only
+	fn      func() float64 // func-backed single-sample families
+
+	mu       sync.Mutex
+	children map[string]*series
+	order    []string // child keys in first-use order
+}
+
+// series is one labelled sample stream: a float value (counter/gauge,
+// stored as bits for lock-free adds) or a histogram.
+type series struct {
+	labelValues []string
+	bits        atomic.Uint64
+	hist        *histData
+}
+
+type histData struct {
+	mu     sync.Mutex
+	counts []uint64 // one per bucket bound; +Inf is implicit via count
+	sum    float64
+	count  uint64
+}
+
+// DefBuckets is the default latency histogram layout (seconds): tuned
+// for the stack's span of interest, from sub-millisecond GEMMs to
+// multi-minute measurement rounds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// SizeBuckets is the default layout for count-shaped observations
+// (batch sizes, verify-set sizes).
+var SizeBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// register returns the named family, creating it on first use and
+// validating shape on re-use.
+func (r *Registry) register(name, help, kind string, labels []string, buckets []float64, fn func() float64) *family {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		fn:       fn,
+		children: map[string]*series{},
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns the series for the given label values, creating it on
+// first use.
+func (f *family) child(values []string) *series {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.children[key]
+	if c == nil {
+		c = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			c.hist = &histData{counts: make([]uint64, len(f.buckets))}
+		}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------- counters
+
+// Counter is a monotonically increasing sample. Nil-safe.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil || v < 0 {
+		return
+	}
+	c.s.addFloat(v)
+}
+
+// Value reads the current total (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return math.Float64frombits(c.s.bits.Load())
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &Counter{s: f.child(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.register(name, help, kindCounter, labels, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f: f}
+}
+
+// With returns the child counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Counter{s: v.f.child(values)}
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at
+// scrape time (process-global monotonic sources like the nn engine's
+// GEMM counters). Re-registering the same name keeps the first fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, nil, nil, fn)
+}
+
+// ------------------------------------------------------------------ gauges
+
+// Gauge is a sample that can go up and down. Nil-safe.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.addFloat(v)
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &Gauge{s: f.child(nil)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	f := r.register(name, help, kindGauge, labels, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return &GaugeVec{f: f}
+}
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Gauge{s: v.f.child(values)}
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time (queue
+// depths, pool sizes — state that already lives somewhere else).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil, fn)
+}
+
+// -------------------------------------------------------------- histograms
+
+// Histogram accumulates observations into fixed buckets. Nil-safe.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil || h.s.hist == nil || math.IsNaN(v) {
+		return
+	}
+	d := h.s.hist
+	d.mu.Lock()
+	for i, b := range h.buckets {
+		if v <= b {
+			d.counts[i]++
+		}
+	}
+	d.sum += v
+	d.count++
+	d.mu.Unlock()
+}
+
+// Count reads the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.s == nil || h.s.hist == nil {
+		return 0
+	}
+	d := h.s.hist
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Sum reads the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.s == nil || h.s.hist == nil {
+		return 0
+	}
+	d := h.s.hist
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sum
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the
+// given bucket upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, nil, buckets, nil)
+	if f == nil {
+		return nil
+	}
+	return &Histogram{s: f.child(nil), buckets: f.buckets}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram, labels, buckets, nil)
+	if f == nil {
+		return nil
+	}
+	return &HistogramVec{f: f}
+}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil || v.f == nil {
+		return nil
+	}
+	return &Histogram{s: v.f.child(values), buckets: v.f.buckets}
+}
+
+// ----------------------------------------------------------------- reading
+
+// Value returns the current value of the named counter or gauge series
+// with the given label values, and whether it exists. Func-backed
+// metrics are sampled. Histograms report false (read them via their
+// handles). This is the read path health endpoints use so JSON views and
+// /metrics can never disagree.
+func (r *Registry) Value(name string, labelValues ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil || f.kind == kindHistogram {
+		return 0, false
+	}
+	if f.fn != nil {
+		return f.fn(), true
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	c := f.children[key]
+	f.mu.Unlock()
+	if c == nil {
+		return 0, false
+	}
+	return math.Float64frombits(c.bits.Load()), true
+}
+
+// Sum totals every series of the named counter or gauge family (0 when
+// absent or a histogram).
+func (r *Registry) Sum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil || f.kind == kindHistogram {
+		return 0
+	}
+	if f.fn != nil {
+		return f.fn()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total float64
+	for _, key := range f.order {
+		total += math.Float64frombits(f.children[key].bits.Load())
+	}
+	return total
+}
+
+// addFloat atomically adds v to the series' float bits.
+func (s *series) addFloat(v float64) {
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// -------------------------------------------------------------- exposition
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children in first-use
+// order, histograms expanded into cumulative _bucket/_sum/_count series.
+// A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	if f.fn != nil {
+		fmt.Fprintf(b, "%s %s\n", f.name, formatFloat(f.fn()))
+		return
+	}
+	f.mu.Lock()
+	children := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		children = append(children, f.children[key])
+	}
+	f.mu.Unlock()
+	for _, c := range children {
+		if f.kind == kindHistogram {
+			f.writeHistogram(b, c)
+			continue
+		}
+		fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labels, c.labelValues, "", ""),
+			formatFloat(math.Float64frombits(c.bits.Load())))
+	}
+}
+
+func (f *family) writeHistogram(b *strings.Builder, c *series) {
+	d := c.hist
+	d.mu.Lock()
+	counts := append([]uint64(nil), d.counts...)
+	sum, count := d.sum, d.count
+	d.mu.Unlock()
+	for i, bound := range f.buckets {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			renderLabels(f.labels, c.labelValues, "le", formatFloat(bound)), counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+		renderLabels(f.labels, c.labelValues, "le", "+Inf"), count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, c.labelValues, "", ""), formatFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labels, c.labelValues, "", ""), count)
+}
+
+// renderLabels formats {k="v",...}, optionally appending one extra pair
+// (histogram le); empty label sets render as nothing.
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(s string) bool {
+	if s == "" || strings.ContainsRune(s, ':') {
+		return false
+	}
+	return validName(s)
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"time"
+
+	"pruner/internal/obs"
 )
 
 // Job states. A job moves queued -> running -> done/failed/canceled;
@@ -66,6 +69,10 @@ type Event struct {
 	// to search or to measurement wait.
 	Measurer string `json:"measurer,omitempty"`
 	InFlight int    `json:"in_flight,omitempty"`
+	// RoundMillis is the wall-clock duration of the round, stamped by the
+	// serving layer at the commit boundary (the deterministic engine
+	// never reads a real clock, so the tuner cannot report this itself).
+	RoundMillis int64 `json:"round_millis,omitempty"`
 	// Terminal fields.
 	Source          string `json:"source,omitempty"`
 	NewMeasurements int    `json:"new_measurements,omitempty"`
@@ -130,6 +137,11 @@ type jobView struct {
 type job struct {
 	id   string
 	spec JobSpec
+	// states mirrors the job's lifecycle into the daemon's jobs-by-state
+	// gauge (nil-safe); enqueuedAt feeds the queue-wait histogram (zero
+	// for store-answered jobs, which never queue).
+	states     *obs.GaugeVec
+	enqueuedAt time.Time
 
 	mu       sync.Mutex
 	state    string
@@ -141,10 +153,21 @@ type job struct {
 	cancel   context.CancelFunc
 }
 
-func newJob(id string, spec JobSpec) *job {
-	j := &job{id: id, spec: spec, state: StateQueued, notify: make(chan struct{})}
+func newJob(id string, spec JobSpec, states *obs.GaugeVec) *job {
+	j := &job{id: id, spec: spec, states: states, state: StateQueued, notify: make(chan struct{})}
 	j.events = append(j.events, Event{Type: StateQueued})
+	j.states.With(StateQueued).Add(1)
 	return j
+}
+
+// shiftState moves the job's gauge contribution between lifecycle states;
+// call with j.mu held (the caller just changed j.state).
+func (j *job) shiftState(from, to string) {
+	if from == to {
+		return
+	}
+	j.states.With(from).Add(-1)
+	j.states.With(to).Add(1)
 }
 
 // publish appends an event (optionally moving the job to a new state) and
@@ -152,6 +175,7 @@ func newJob(id string, spec JobSpec) *job {
 func (j *job) publish(state string, ev Event) {
 	j.mu.Lock()
 	if state != "" {
+		j.shiftState(j.state, state)
 		j.state = state
 	}
 	j.events = append(j.events, ev)
@@ -164,6 +188,7 @@ func (j *job) publish(state string, ev Event) {
 // terminal event.
 func (j *job) finish(state string, res *JobResult, errMsg string) {
 	j.mu.Lock()
+	j.shiftState(j.state, state)
 	j.state = state
 	j.result = res
 	j.errMsg = errMsg

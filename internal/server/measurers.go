@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"pruner"
 )
 
 // The measurer registry: remote measurement workers (cmd/pruner-measure)
@@ -17,14 +19,15 @@ import (
 // so a crashed worker silently drains out of rotation instead of failing
 // every batch until an operator notices.
 
-// measurerEntry is one registered worker.
+// measurerEntry is one registered worker. Dispatch accounting is not
+// kept here: every job's fleet writes per-worker counters straight to
+// the daemon's registry (pruner_fleet_*), and views read them back, so
+// /v1/measurers, /v1/healthz and /metrics all report the same numbers —
+// live mid-job, not only after a fleet finishes.
 type measurerEntry struct {
 	url          string
 	registeredAt time.Time
 	lastSeen     time.Time
-	batches      int
-	schedules    int
-	failures     int
 }
 
 // MeasurerView is the API form of a registered worker.
@@ -50,6 +53,7 @@ func (s *Server) registerMeasurer(rawURL string) MeasurerView {
 		e = &measurerEntry{url: rawURL, registeredAt: now}
 		s.measurers[rawURL] = e
 		s.measurerOrder = append(s.measurerOrder, rawURL)
+		s.cfg.Log.Info("measurer registered", "measurer", rawURL)
 	}
 	e.lastSeen = now
 	return s.viewLocked(e, now)
@@ -69,6 +73,7 @@ func (s *Server) deregisterMeasurer(rawURL string) bool {
 			break
 		}
 	}
+	s.cfg.Log.Info("measurer deregistered", "measurer", rawURL)
 	return true
 }
 
@@ -95,14 +100,19 @@ func (s *Server) liveLocked(e *measurerEntry, now time.Time) bool {
 }
 
 func (s *Server) viewLocked(e *measurerEntry, now time.Time) MeasurerView {
+	reg := s.cfg.Obs.Reg()
+	regCount := func(name string) int {
+		v, _ := reg.Value(name, e.url)
+		return int(v)
+	}
 	return MeasurerView{
 		URL:              e.url,
 		Live:             s.liveLocked(e, now),
 		RegisteredAtUnix: e.registeredAt.Unix(),
 		LastSeenUnix:     e.lastSeen.Unix(),
-		Batches:          e.batches,
-		Schedules:        e.schedules,
-		Failures:         e.failures,
+		Batches:          regCount(pruner.MetricFleetBatches),
+		Schedules:        regCount(pruner.MetricFleetSchedules),
+		Failures:         regCount(pruner.MetricFleetFailures),
 	}
 }
 
@@ -119,51 +129,22 @@ func (s *Server) measurerViews() []MeasurerView {
 	return out
 }
 
-// measurerStats summarises the registry for /v1/healthz.
+// measurerStats summarises the measurer registry for /v1/healthz, read
+// back from the metrics registry so healthz and /metrics agree. Batch
+// and failure totals are registry-lifetime sums over every worker a
+// fleet ever dispatched to, deregistered ones included.
 func (s *Server) measurerStats() map[string]any {
-	now := time.Now()
-	s.mmu.Lock()
-	defer s.mmu.Unlock()
-	live, batches, failures := 0, 0, 0
-	for _, e := range s.measurers {
-		if s.liveLocked(e, now) {
-			live++
-		}
-		batches += e.batches
-		failures += e.failures
+	reg := s.cfg.Obs.Reg()
+	regGauge := func(name string) int {
+		v, _ := reg.Value(name)
+		return int(v)
 	}
 	return map[string]any{
-		"registered": len(s.measurers),
-		"live":       live,
-		"batches":    batches,
-		"failures":   failures,
+		"registered": regGauge(MetricMeasurersRegistered),
+		"live":       regGauge(MetricMeasurersLive),
+		"batches":    int(reg.Sum(pruner.MetricFleetBatches)),
+		"failures":   int(reg.Sum(pruner.MetricFleetFailures)),
 	}
-}
-
-// absorbStats folds a finished job's fleet dispatch accounting back into
-// the registry, so /v1/measurers shows lifetime per-worker totals.
-func (s *Server) absorbStats(stats []fleetStat) {
-	s.mmu.Lock()
-	defer s.mmu.Unlock()
-	for _, st := range stats {
-		e := s.measurers[st.URL]
-		if e == nil {
-			continue // deregistered mid-job; drop the counters
-		}
-		e.batches += st.Batches
-		e.schedules += st.Schedules
-		e.failures += st.Failures
-	}
-}
-
-// fleetStat mirrors measure.WorkerStats without importing internal/measure
-// here (the server talks to the measurement subsystem through the pruner
-// facade).
-type fleetStat struct {
-	URL       string
-	Batches   int
-	Schedules int
-	Failures  int
 }
 
 // pingMeasurer verifies a registering worker actually answers /healthz,

@@ -13,6 +13,8 @@
 //	POST /v1/measurers       register (or heartbeat) a measurement worker
 //	GET  /v1/measurers       list registered workers + dispatch stats
 //	DELETE /v1/measurers     deregister a worker (?url=...)
+//	GET  /metrics            Prometheus text exposition of the daemon's registry
+//	GET  /v1/trace           recent pipeline spans (ring buffer) as JSON
 //
 // Concurrency model: a bounded queue feeds a fixed set of worker
 // goroutines, and every job tunes on ONE shared parallel.Pool — the
@@ -32,6 +34,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync"
@@ -72,6 +75,18 @@ type Config struct {
 	// MaxPipelineDepth caps the per-job pipeline_depth request
 	// (default 16).
 	MaxPipelineDepth int
+	// Obs is the daemon's observability spine: every job tunes armed
+	// with it, /metrics scrapes its registry, /v1/trace serves its span
+	// ring and /v1/healthz is assembled from registry reads. nil builds
+	// a wall-clock observer — the serving layer is the one sanctioned
+	// time boundary; deterministic layers see the clock only by
+	// injection, and armed sessions stay bitwise identical to unarmed
+	// ones.
+	Obs *pruner.Observer
+	// Log receives the daemon's structured lifecycle logs (job start,
+	// round commits at debug, terminal states, measurer churn) with
+	// job/round/measurer attrs. nil discards them (tests, embedders).
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +111,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxPipelineDepth <= 0 {
 		c.MaxPipelineDepth = 16
 	}
+	if c.Obs == nil {
+		c.Obs = pruner.NewObserver(0)
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -119,6 +140,9 @@ type Server struct {
 	mmu           sync.Mutex
 	measurers     map[string]*measurerEntry
 	measurerOrder []string
+
+	// Prepared instruments on cfg.Obs's registry (obs.go).
+	obs serverObs
 }
 
 // New starts the worker goroutines and returns the server.
@@ -136,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:      map[string]*job{},
 		measurers: map[string]*measurerEntry{},
 	}
+	s.initObs()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		//pruner:allow rawgo — the daemon's job workers live for the server's lifetime and are joined by wg on Shutdown; the parallel pool is for bounded fan-out inside a session, not long-lived service loops
@@ -183,6 +208,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/measurers", s.handleRegisterMeasurer)
 	mux.HandleFunc("GET /v1/measurers", s.handleListMeasurers)
 	mux.HandleFunc("DELETE /v1/measurers", s.handleDeregisterMeasurer)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	return mux
 }
 
@@ -305,6 +332,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !spec.Fresh && s.cfg.Store.Covered(spec.Device, tasks, spec.Trials) {
 		j := s.register(spec)
 		j.finish(StateDone, s.storeResult(spec, tasks), "")
+		s.cfg.Log.Info("job answered from store", "job", j.id,
+			"device", spec.Device, "network", spec.Network)
 		writeJSON(w, http.StatusOK, j.view())
 		return
 	}
@@ -326,11 +355,13 @@ func (s *Server) enqueue(spec JobSpec) (*job, error) {
 		return nil, fmt.Errorf("server is shutting down")
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec)
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec, s.obs.jobStates)
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 	default:
 		s.nextID--
+		j.states.With(StateQueued).Add(-1) // never entered the queue
 		return nil, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
 	}
 	s.jobs[j.id] = j
@@ -343,7 +374,7 @@ func (s *Server) register(spec JobSpec) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec)
+	j := newJob(fmt.Sprintf("j-%06d", s.nextID), spec, s.obs.jobStates)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	return j
@@ -406,6 +437,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	s.obs.sseStreams.Add(1)
+	defer s.obs.sseStreams.Add(-1)
 
 	i := 0
 	for {
@@ -413,6 +446,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		for _, ev := range evs {
 			data, _ := json.Marshal(ev)
 			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			s.obs.sseEvents.Inc()
 		}
 		if len(evs) > 0 {
 			flusher.Flush()
@@ -452,19 +486,33 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz assembles the daemon's health view from the same
+// registry /metrics scrapes (the job-state gauges, the store's
+// func-backed occupancy gauges, the fleet's per-worker counters), so a
+// scrape and a health check can never tell different stories. The JSON
+// shape predates the registry and is kept stable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	counts := map[string]int{}
-	for _, j := range s.jobs {
-		j.mu.Lock()
-		counts[j.state]++
-		j.mu.Unlock()
-	}
 	closed := s.closed
 	s.mu.Unlock()
+	reg := s.cfg.Obs.Reg()
+	counts := map[string]int{}
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		if v, ok := reg.Value(MetricJobs, state); ok && v != 0 {
+			counts[state] = int(v)
+		}
+	}
+	regGauge := func(name string) int {
+		v, _ := reg.Value(name)
+		return int(v)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      map[bool]string{false: "ok", true: "shutting-down"}[closed],
-		"store":       s.cfg.Store.Stats(),
+		"status": map[bool]string{false: "ok", true: "shutting-down"}[closed],
+		"store": map[string]any{
+			"devices":            regGauge(store.MetricDevices),
+			"records":            regGauge(store.MetricRecords),
+			"dropped_tail_lines": regGauge(store.MetricDropped),
+		},
 		"jobs":        counts,
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.cfg.QueueDepth,
@@ -523,13 +571,26 @@ func (s *Server) worker() {
 
 // run executes one tuning job end to end.
 func (s *Server) run(j *job) {
+	// Every terminal transition is logged with the job attr so operators
+	// can grep a job's lifecycle out of the daemon's structured stream.
+	finish := func(state string, res *JobResult, errMsg string) {
+		j.finish(state, res, errMsg)
+		if errMsg != "" {
+			s.cfg.Log.Warn("job finished", "job", j.id, "state", state, "error", errMsg)
+			return
+		}
+		s.cfg.Log.Info("job finished", "job", j.id, "state", state)
+	}
 	if s.ctx.Err() != nil {
-		j.finish(StateCanceled, nil, "server shut down before the job started")
+		finish(StateCanceled, nil, "server shut down before the job started")
 		return
 	}
 	if j.cancelRequested() {
-		j.finish(StateCanceled, nil, "canceled while queued")
+		finish(StateCanceled, nil, "canceled while queued")
 		return
+	}
+	if !j.enqueuedAt.IsZero() {
+		s.obs.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
 	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
@@ -540,7 +601,7 @@ func (s *Server) run(j *job) {
 	spec := j.spec
 	dev, net, tasks, err := s.resolve(&spec)
 	if err != nil {
-		j.finish(StateFailed, nil, err.Error())
+		finish(StateFailed, nil, err.Error())
 		return
 	}
 
@@ -548,7 +609,7 @@ func (s *Server) run(j *job) {
 	if !spec.Fresh {
 		warm, err = s.cfg.Store.WarmStart(spec.Device, tasks)
 		if err != nil {
-			j.finish(StateFailed, nil, fmt.Sprintf("warm-start: %v", err))
+			finish(StateFailed, nil, fmt.Sprintf("warm-start: %v", err))
 			return
 		}
 	}
@@ -557,27 +618,38 @@ func (s *Server) run(j *job) {
 	// on "auto" with live workers), the in-process simulator otherwise.
 	// Both produce bitwise-identical results for the same seed, so the
 	// choice is purely about where the measurement wall-clock is spent.
+	// Fleets are handed the daemon's long-lived registry, so per-worker
+	// dispatch totals accumulate across jobs and are scrapeable (and
+	// served by /v1/measurers) mid-session.
 	var fleet *pruner.Fleet
 	measName := "simulator"
 	switch spec.Measurer {
 	case "", "auto":
 		if urls := s.liveMeasurerURLs(); len(urls) > 0 {
-			fleet = pruner.NewFleet(urls)
+			fleet = pruner.NewObservedFleet(urls, s.cfg.Obs)
 			measName = "fleet"
 		}
 	case "simulator":
 	case "fleet":
 		urls := s.liveMeasurerURLs()
 		if len(urls) == 0 {
-			j.finish(StateFailed, nil, "measurer \"fleet\" requested but no live measurement workers are registered (POST /v1/measurers)")
+			finish(StateFailed, nil, "measurer \"fleet\" requested but no live measurement workers are registered (POST /v1/measurers)")
 			return
 		}
-		fleet = pruner.NewFleet(urls)
+		fleet = pruner.NewObservedFleet(urls, s.cfg.Obs)
 		measName = "fleet"
 	}
 
 	j.publish(StateRunning, Event{Type: "started", Trials: spec.Trials, WarmRecords: len(warm), Measurer: measName})
+	s.cfg.Log.Info("job started", "job", j.id, "device", spec.Device,
+		"network", spec.Network, "method", spec.Method, "trials", spec.Trials,
+		"measurer", measName, "warm_records", len(warm))
 
+	// Round wall-clock is stamped here, at the commit boundary: the
+	// deterministic engine never reads a real clock, and Progress
+	// callbacks arrive serially, so successive timestamps bracket each
+	// committed round.
+	lastRound := time.Now()
 	cfg := pruner.Config{
 		Method:        pruner.Method(spec.Method),
 		Trials:        spec.Trials,
@@ -590,18 +662,27 @@ func (s *Server) run(j *job) {
 		Pool:          s.cfg.Pool,
 		Ctx:           ctx,
 		WarmStart:     warm,
+		Obs:           s.cfg.Obs,
 		Progress: func(ev pruner.ProgressEvent) {
+			now := time.Now()
+			elapsed := now.Sub(lastRound)
+			lastRound = now
+			s.obs.roundSeconds.Observe(elapsed.Seconds())
+			s.cfg.Log.Debug("round committed", "job", j.id,
+				"round", ev.Round, "rounds", ev.Rounds,
+				"measurer", ev.Measurer, "round_millis", elapsed.Milliseconds())
 			j.publish("", Event{
-				Type:       "round",
-				Round:      ev.Round,
-				Rounds:     ev.Rounds,
-				Task:       ev.TaskName,
-				Trials:     ev.Trials,
-				SimSeconds: ev.SimSeconds,
-				WorkloadMS: ms(ev.WorkloadLat),
-				TaskBestMS: ms(ev.TaskBest),
-				Measurer:   ev.Measurer,
-				InFlight:   ev.InFlight,
+				Type:        "round",
+				Round:       ev.Round,
+				Rounds:      ev.Rounds,
+				Task:        ev.TaskName,
+				Trials:      ev.Trials,
+				SimSeconds:  ev.SimSeconds,
+				WorkloadMS:  ms(ev.WorkloadLat),
+				TaskBestMS:  ms(ev.TaskBest),
+				Measurer:    ev.Measurer,
+				InFlight:    ev.InFlight,
+				RoundMillis: elapsed.Milliseconds(),
 			})
 		},
 	}
@@ -609,16 +690,8 @@ func (s *Server) run(j *job) {
 		cfg.Measurer = fleet
 	}
 	res, err := pruner.Tune(dev, net, cfg)
-	if fleet != nil {
-		stats := fleet.Stats()
-		acc := make([]fleetStat, len(stats))
-		for i, st := range stats {
-			acc[i] = fleetStat{URL: st.URL, Batches: st.Batches, Schedules: st.Schedules, Failures: st.Failures}
-		}
-		s.absorbStats(acc)
-	}
 	if err != nil {
-		j.finish(StateFailed, nil, err.Error())
+		finish(StateFailed, nil, err.Error())
 		return
 	}
 
@@ -629,11 +702,11 @@ func (s *Server) run(j *job) {
 	// poison the store).
 	fresh := res.Records[res.Warm:]
 	if err := s.cfg.Store.Append(spec.Device, fresh); err != nil {
-		j.finish(StateFailed, nil, fmt.Sprintf("persisting records: %v", err))
+		finish(StateFailed, nil, fmt.Sprintf("persisting records: %v", err))
 		return
 	}
 	if res.MeasureErr != nil {
-		j.finish(StateFailed, nil, fmt.Sprintf("measurement backend failed after %d measurements: %v", len(fresh), res.MeasureErr))
+		finish(StateFailed, nil, fmt.Sprintf("measurement backend failed after %d measurements: %v", len(fresh), res.MeasureErr))
 		return
 	}
 
@@ -658,5 +731,5 @@ func (s *Server) run(j *job) {
 	if res.Interrupted {
 		state = StateCanceled
 	}
-	j.finish(state, result, "")
+	finish(state, result, "")
 }

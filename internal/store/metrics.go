@@ -1,0 +1,84 @@
+package store
+
+import "pruner/internal/obs"
+
+// Metric names the store exports when Options.Metrics is set, shared
+// with the daemon's healthz/metrics endpoints and their tests.
+const (
+	// MetricAppends counts Append calls that reached disk.
+	MetricAppends = "pruner_store_appends_total"
+	// MetricAppendedRecords counts records written by those appends.
+	MetricAppendedRecords = "pruner_store_appended_records_total"
+	// MetricRotations counts segment rotations.
+	MetricRotations = "pruner_store_segment_rotations_total"
+	// MetricWarmStarts counts WarmStart lookups, labelled
+	// result=hit|miss (hit: at least one record returned).
+	MetricWarmStarts = "pruner_store_warmstart_requests_total"
+	// MetricWarmStartRecords counts records served to warm starts.
+	MetricWarmStartRecords = "pruner_store_warmstart_records_total"
+	// MetricCovered counts Covered cache-hit checks, labelled
+	// result=hit|miss.
+	MetricCovered = "pruner_store_covered_checks_total"
+	// MetricRecords gauges indexed records (sampled at scrape).
+	MetricRecords = "pruner_store_records"
+	// MetricDevices gauges device shards (sampled at scrape).
+	MetricDevices = "pruner_store_devices"
+	// MetricDropped gauges torn tail lines dropped at load.
+	MetricDropped = "pruner_store_dropped_tail_lines"
+)
+
+// metrics is the store's prepared instrument set; every field is nil
+// (and every use a no-op) when the store was opened without a registry.
+type metrics struct {
+	appends         *obs.Counter
+	appendedRecords *obs.Counter
+	rotations       *obs.Counter
+	warmHit         *obs.Counter
+	warmMiss        *obs.Counter
+	warmRecords     *obs.Counter
+	coveredHit      *obs.Counter
+	coveredMiss     *obs.Counter
+}
+
+// EnableMetrics is Options.Metrics after the fact: the serving daemon
+// arms a store it did not open itself. The first registry to arm the
+// store wins; later calls are no-ops, so opening with Options.Metrics
+// and a daemon-side EnableMetrics on the same registry compose safely.
+func (s *Store) EnableMetrics(reg *obs.Registry) {
+	if s.metrics.appends != nil {
+		return
+	}
+	s.initMetrics(reg)
+}
+
+// initMetrics registers the store's instruments on reg. The occupancy
+// gauges are func-backed so scrapes always see the live index, never a
+// shadow copy that could drift from Stats().
+func (s *Store) initMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	warm := reg.CounterVec(MetricWarmStarts,
+		"Warm-start history lookups by result (hit: records returned).", "result")
+	cov := reg.CounterVec(MetricCovered,
+		"Store coverage (cache-hit) checks by result.", "result")
+	s.metrics = metrics{
+		appends: reg.Counter(MetricAppends,
+			"Record batches appended to the store."),
+		appendedRecords: reg.Counter(MetricAppendedRecords,
+			"Records appended to the store."),
+		rotations: reg.Counter(MetricRotations,
+			"Active-segment rotations."),
+		warmHit:     warm.With("hit"),
+		warmMiss:    warm.With("miss"),
+		warmRecords: reg.Counter(MetricWarmStartRecords, "Records served to warm starts."),
+		coveredHit:  cov.With("hit"),
+		coveredMiss: cov.With("miss"),
+	}
+	reg.GaugeFunc(MetricRecords, "Records indexed across all devices.",
+		func() float64 { return float64(s.Stats().Records) })
+	reg.GaugeFunc(MetricDevices, "Device shards in the store.",
+		func() float64 { return float64(s.Stats().Devices) })
+	reg.GaugeFunc(MetricDropped, "Torn tail lines dropped when loading segments.",
+		func() float64 { return float64(s.Stats().Dropped) })
+}

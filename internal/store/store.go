@@ -34,6 +34,7 @@ import (
 	"pruner/internal/costmodel"
 	"pruner/internal/ir"
 	"pruner/internal/measure"
+	"pruner/internal/obs"
 )
 
 // Options configure a store.
@@ -45,6 +46,11 @@ type Options struct {
 	// the cost of append latency; the truncated-tail tolerance covers
 	// process crashes either way.
 	Sync bool
+	// Metrics, when non-nil, receives the store's instruments
+	// (pruner_store_* — see metrics.go): append/rotation/warm-start
+	// counters plus func-backed occupancy gauges sampled at scrape time.
+	// nil disables metrics entirely.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +93,8 @@ type Store struct {
 	shards  map[string]*shard
 	records int
 	dropped int // truncated tail lines discarded at Open
+
+	metrics metrics
 }
 
 // Open loads (or creates) the store rooted at dir.
@@ -111,6 +119,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.shards[e.Name()] = sh
 		s.records += sh.records
 	}
+	s.initMetrics(opts.Metrics)
 	return s, nil
 }
 
@@ -282,6 +291,7 @@ func (s *Store) Append(device string, recs []costmodel.Record) error {
 		if err := sh.openSegment(); err != nil {
 			return err
 		}
+		s.metrics.rotations.Inc()
 	}
 	if _, err := sh.file.Write(payload); err != nil {
 		// The write may have landed partially (ENOSPC, I/O error). Never
@@ -309,6 +319,8 @@ func (s *Store) Append(device string, recs []costmodel.Record) error {
 		return fmt.Errorf("store: re-indexing appended records (dropped %d): %v", dropped, err)
 	}
 	s.records += sh.records - before
+	s.metrics.appends.Inc()
+	s.metrics.appendedRecords.Add(float64(sh.records - before))
 	return nil
 }
 
@@ -331,12 +343,15 @@ func (s *Store) WarmStart(device string, tasks []*ir.Task) ([]costmodel.Record, 
 	}
 	s.mu.Unlock()
 	if buf.Len() == 0 {
+		s.metrics.warmMiss.Inc()
 		return nil, nil
 	}
 	recs, err := measure.ReadRecords(&buf, tasks)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.metrics.warmHit.Inc()
+	s.metrics.warmRecords.Add(float64(len(recs)))
 	return recs, nil
 }
 
@@ -388,14 +403,20 @@ func (s *Store) Covered(device string, tasks []*ir.Task, minTotal int) bool {
 		ids[i] = t.ID
 	}
 	best := s.BestForTasks(device, ids)
-	if len(best) != len(tasks) {
-		return false
+	covered := len(best) == len(tasks)
+	if covered {
+		total := 0
+		for _, b := range best {
+			total += b.Records
+		}
+		covered = total >= minTotal
 	}
-	total := 0
-	for _, b := range best {
-		total += b.Records
+	if covered {
+		s.metrics.coveredHit.Inc()
+	} else {
+		s.metrics.coveredMiss.Inc()
 	}
-	return total >= minTotal
+	return covered
 }
 
 // Stats summarise the store for health endpoints.

@@ -1,0 +1,63 @@
+package tuner
+
+import "pruner/internal/obs"
+
+// Metric names the tuning engine exports, shared with scrape tests and
+// the serving daemon's documentation.
+const (
+	// MetricStageSeconds is a histogram of per-stage engine latency,
+	// labelled stage=plan|measure|commit.
+	MetricStageSeconds = "pruner_tuner_stage_seconds"
+	// MetricRoundSeconds is a histogram of whole-round latency (plan
+	// dispatch to commit completion; overlapping under pipelining).
+	MetricRoundSeconds = "pruner_tuner_round_seconds"
+	// MetricVerifyBatch is a histogram of verify-set sizes — the number
+	// of candidates the policy promoted to measurement each round.
+	MetricVerifyBatch = "pruner_tuner_verify_batch_size"
+	// MetricRounds counts committed rounds.
+	MetricRounds = "pruner_tuner_rounds_total"
+	// MetricTrials counts committed measurements (warm-start excluded).
+	MetricTrials = "pruner_tuner_trials_total"
+	// MetricInFlight gauges the pipeline window occupancy at the last
+	// commit (1 on the serial path).
+	MetricInFlight = "pruner_tuner_inflight_batches"
+)
+
+// engineObs is the round engine's prepared instrument set. It is built
+// unconditionally — under a nil Observer every instrument is nil (their
+// methods no-op) and the clock is the no-op clock — so the engine's hot
+// path instruments without branching on whether anyone is watching.
+type engineObs struct {
+	clock obs.Clock
+	tr    *obs.Tracer
+
+	planSeconds    *obs.Histogram
+	measureSeconds *obs.Histogram
+	commitSeconds  *obs.Histogram
+	roundSeconds   *obs.Histogram
+	verifyBatch    *obs.Histogram
+	rounds         *obs.Counter
+	trials         *obs.Counter
+	inFlight       *obs.Gauge
+}
+
+func newEngineObs(o *obs.Observer) engineObs {
+	r := o.Reg()
+	stage := r.HistogramVec(MetricStageSeconds,
+		"Tuning engine stage latency by stage (plan, measure, commit).", nil, "stage")
+	return engineObs{
+		clock:          o.Clock(),
+		tr:             o.Trace(),
+		planSeconds:    stage.With("plan"),
+		measureSeconds: stage.With("measure"),
+		commitSeconds:  stage.With("commit"),
+		roundSeconds: r.Histogram(MetricRoundSeconds,
+			"Whole-round latency from plan dispatch to commit.", nil),
+		verifyBatch: r.Histogram(MetricVerifyBatch,
+			"Candidates promoted to measurement per round.", obs.SizeBuckets),
+		rounds: r.Counter(MetricRounds, "Committed tuning rounds."),
+		trials: r.Counter(MetricTrials, "Committed measurements (warm-start excluded)."),
+		inFlight: r.Gauge(MetricInFlight,
+			"Measurement batches in flight at the last commit."),
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"pruner/internal/ir"
 	"pruner/internal/measure"
 	"pruner/internal/nn"
+	"pruner/internal/obs"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/search"
@@ -121,6 +122,15 @@ type Options struct {
 	// mutate them (they never should); blocking callbacks slow tuning but
 	// cannot reorder it.
 	Progress func(ProgressEvent)
+	// Obs, when non-nil, receives the session's observability: plan /
+	// measure / commit spans into its tracer and round/stage latency,
+	// batch-size and trial metrics into its registry. The engine times
+	// everything through the observer's injected Clock — a no-op clock
+	// reads constant zero — and readings flow only into spans and
+	// metrics, never into results, so a fully-armed observer leaves
+	// session fingerprints bitwise unchanged. nil disables observability
+	// at the cost of a few nil checks per round.
+	Obs *obs.Observer
 	// WarmStart seeds the session with prior measurements (a record log or
 	// store history, the cross-session MoA story): each record lands in
 	// its task's measured set (so the policy never re-proposes it), its
@@ -238,6 +248,12 @@ type ProgressEvent struct {
 	// that were in flight when the round committed — the pipeline window's
 	// utilisation; 1 on the serial path.
 	InFlight int
+	// RoundMillis is the wall-clock duration of the round in
+	// milliseconds. The deterministic engine never reads the wall clock
+	// and always leaves it zero; the serving layer stamps it at the
+	// commit boundary (between successive Progress callbacks) before
+	// forwarding events to SSE consumers.
+	RoundMillis int64
 }
 
 // CurvePoint is one sample of the tuning curve.
@@ -312,6 +328,10 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	if pu, ok := opt.Model.(costmodel.PoolUser); ok {
 		pu.SetPool(pool)
 	}
+	if ou, ok := opt.Model.(costmodel.ObsUser); ok {
+		ou.SetObserver(opt.Obs)
+	}
+	eo := newEngineObs(opt.Obs)
 	draft := &analyzer.Analyzer{Dev: dev, Cfg: opt.DraftConfig}
 
 	states := make([]*taskState, len(tasks))
@@ -469,6 +489,12 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		done    chan struct{}
 		results []measure.Result
 		err     error
+		// planStart / measureStart are observer-clock readings taken at
+		// plan entry and batch dispatch; msp is the open measure span.
+		// All three live on the session goroutine only.
+		planStart    int64
+		measureStart int64
+		msp          *obs.ActiveSpan
 	}
 
 	rounds := (opt.Trials + opt.BatchSize - 1) / opt.BatchSize
@@ -480,6 +506,8 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	// batch must not be dispatched, or cancellation timing would change
 	// committed results.
 	plan := func(round int) (*inflight, bool) {
+		planStart := eo.clock.Now()
+		psp := eo.tr.Start("tuner.plan", obs.Int("round", round))
 		st := sched.next(round)
 
 		// One lowering memo per round: draft scoring, the buildability
@@ -515,11 +543,17 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		for _, s := range batch {
 			st.measuredSet[s.Fingerprint()] = true
 		}
-		f := &inflight{round: round, st: st, batch: batch, done: make(chan struct{})}
+		psp.End(obs.String("task", st.task.ID), obs.Int("batch", len(batch)))
+		eo.planSeconds.Observe(obs.Seconds(eo.clock, planStart))
+		eo.verifyBatch.Observe(float64(len(batch)))
+		f := &inflight{round: round, st: st, batch: batch, done: make(chan struct{}), planStart: planStart}
 		if len(batch) == 0 {
 			close(f.done)
 			return f, true
 		}
+		f.measureStart = eo.clock.Now()
+		f.msp = eo.tr.Start("tuner.measure",
+			obs.Int("round", round), obs.String("measurer", minfo.Name), obs.Int("batch", len(batch)))
 		//pruner:allow rawgo — the pipelined round engine's single in-flight measurement; determinism is pinned by commit order (rounds fold in strictly by round index), not by when this goroutine finishes
 		go func() {
 			f.results, f.err = opt.Measurer.Measure(mctx, measure.Request{
@@ -551,6 +585,13 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		case <-ctx.Done():
 			return false
 		}
+		if len(f.batch) > 0 {
+			f.msp.End(obs.Bool("err", f.err != nil))
+			eo.measureSeconds.Observe(obs.Seconds(eo.clock, f.measureStart))
+		}
+		commitStart := eo.clock.Now()
+		csp := eo.tr.Start("tuner.commit",
+			obs.Int("round", f.round), obs.Int("in_flight", inFlight))
 		st := f.st
 		if len(f.batch) > 0 {
 			if f.err != nil {
@@ -609,6 +650,12 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 				InFlight:    inFlight,
 			})
 		}
+		csp.End(obs.Int("batch", len(f.batch)))
+		eo.commitSeconds.Observe(obs.Seconds(eo.clock, commitStart))
+		eo.roundSeconds.Observe(obs.Seconds(eo.clock, f.planStart))
+		eo.rounds.Inc()
+		eo.trials.Add(float64(len(f.batch)))
+		eo.inFlight.Set(float64(inFlight))
 		return true
 	}
 

@@ -12,6 +12,7 @@ import (
 	"pruner/internal/ir"
 	"pruner/internal/measure"
 	"pruner/internal/nn"
+	"pruner/internal/obs"
 	"pruner/internal/parallel"
 	"pruner/internal/schedule"
 	"pruner/internal/search"
@@ -56,7 +57,59 @@ type (
 	// MeasureWorker executes measurement batches for remote sessions; its
 	// Handler is the HTTP surface cmd/pruner-measure serves.
 	MeasureWorker = measure.Worker
+	// Observer bundles the observability spine (metrics registry + trace
+	// sink + the clock that times spans). Hand one to Config.Obs,
+	// NewObservedFleet or NewObservedMeasureWorker; a nil Observer
+	// disarms every instrument at zero cost. See internal/obs.
+	Observer = obs.Observer
 )
+
+// NewObserver builds a wall-clock Observer for daemons and CLIs: the
+// single place real time enters the stack. Deterministic layers only see
+// the clock through injection, and clock readings flow into metrics and
+// spans only — never into tuning results, so armed sessions stay bitwise
+// identical to unarmed ones. traceCap bounds the span ring buffer
+// (<= 0 selects the default).
+func NewObserver(traceCap int) *Observer { return obs.New(obs.RealClock(), traceCap) }
+
+// Fleet and worker metric names, re-exported so the serving daemon can
+// read per-worker dispatch accounting back out of the registry it handed
+// NewObservedFleet (the server talks to the measurement subsystem
+// through this facade).
+const (
+	MetricFleetBatches   = measure.MetricFleetBatches
+	MetricFleetSchedules = measure.MetricFleetSchedules
+	MetricFleetFailures  = measure.MetricFleetFailures
+)
+
+// Engine metric names registered by RegisterEngineMetrics.
+const (
+	MetricNNGEMMCalls    = "pruner_nn_gemm_calls_total"
+	MetricNNGEMMRows     = "pruner_nn_gemm_rows_total"
+	MetricNNAttnSegments = "pruner_nn_attention_segments_total"
+)
+
+// WriteTrace dumps o's span ring buffer as indented JSON to w — the same
+// payload the daemon serves at GET /v1/trace (pruner-tune's -trace-out).
+// Nil-safe: an unarmed observer dumps an empty trace.
+func WriteTrace(o *Observer, w io.Writer) error { return o.Sink().WriteJSON(w) }
+
+// RegisterEngineMetrics exposes the nn inference engine's process-wide
+// kernel counters on o's registry as func-backed metrics, sampled at
+// scrape time. The counters are plain atomics inside internal/nn (the
+// engine carries no observability dependency); a nil Observer is a no-op.
+func RegisterEngineMetrics(o *Observer) {
+	reg := o.Reg()
+	reg.CounterFunc(MetricNNGEMMCalls,
+		"Fused GEMM kernel invocations by the nn inference engine.",
+		func() float64 { return float64(nn.Counters().GEMMCalls) })
+	reg.CounterFunc(MetricNNGEMMRows,
+		"Rows pushed through fused GEMM kernels.",
+		func() float64 { return float64(nn.Counters().GEMMRows) })
+	reg.CounterFunc(MetricNNAttnSegments,
+		"Attention segments processed by the TLP transformer path.",
+		func() float64 { return float64(nn.Counters().AttnSegments) })
+}
 
 // NewPool builds a worker pool with the given budget; workers <= 0 selects
 // runtime.NumCPU(). Pass it via Config.Pool to cap total concurrency
@@ -69,10 +122,26 @@ func NewPool(workers int) *Pool { return parallel.New(workers) }
 // seed (the session draws measurement noise itself at commit time).
 func NewFleet(urls []string) *Fleet { return measure.NewFleet(urls, measure.FleetOptions{}) }
 
+// NewObservedFleet is NewFleet with live per-worker dispatch counters and
+// batch-latency histograms landing on o's registry (pruner_fleet_*). Hand
+// successive fleets a daemon's long-lived Observer and per-worker totals
+// accumulate across jobs, scrapeable mid-session. nil o builds an
+// unobserved fleet.
+func NewObservedFleet(urls []string, o *Observer) *Fleet {
+	return measure.NewFleet(urls, measure.FleetOptions{Metrics: o.Reg()})
+}
+
 // NewMeasureWorker builds a measurement worker executing batches on a
 // pool-bounded fan-out (workers <= 0 selects runtime.NumCPU()).
 func NewMeasureWorker(workers int) *MeasureWorker {
 	return measure.NewWorker(measure.WorkerOptions{Pool: parallel.New(workers)})
+}
+
+// NewObservedMeasureWorker is NewMeasureWorker with the worker's counters
+// exposed on o's registry (pruner_worker_*) and GET /metrics mounted on
+// its Handler. nil o builds an unobserved worker.
+func NewObservedMeasureWorker(workers int, o *Observer) *MeasureWorker {
+	return measure.NewWorker(measure.WorkerOptions{Pool: parallel.New(workers), Metrics: o.Reg()})
 }
 
 // Preset devices of the paper's evaluation.
@@ -247,6 +316,11 @@ type Config struct {
 	// online update). Identical warm-start slices with the same Seed
 	// keep the session bitwise reproducible at any Parallelism.
 	WarmStart []Record
+	// Obs, when non-nil, arms the session with metrics and span tracing
+	// (per-stage latencies, cost-model fit/predict spans). Clock readings
+	// flow into the observer only, never into tuning decisions: the same
+	// Seed produces a bitwise-identical Result armed or not.
+	Obs *Observer
 }
 
 // Tune runs a full tuning session of the network on the device.
@@ -264,6 +338,7 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		Ctx:           cfg.Ctx,
 		Progress:      cfg.Progress,
 		WarmStart:     cfg.WarmStart,
+		Obs:           cfg.Obs,
 	}
 	needPretrained := func() ([]*nn.Tensor, error) {
 		kind := PretrainedKind(cfg.Method)
