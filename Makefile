@@ -1,7 +1,10 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same
 # targets. The repo is stdlib-only — no dependencies to fetch; even the
-# determinism-contract analyzers (`make lint`, cmd/pruner-vet) are built
-# on go/ast + go/types alone.
+# eight determinism/concurrency contract analyzers (`make lint`,
+# cmd/pruner-vet) are built on go/ast + go/types alone, including the
+# whole-module call-graph generation (ctxflow, lockheld, hotalloc,
+# errdrop) and its measured zero-allocation hot-path gate (the TestAlloc*
+# AllocsPerRun tests run by bench-smoke).
 
 GO ?= go
 
@@ -15,10 +18,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The determinism & concurrency contract: pruner-vet runs the
-# internal/lint analyzers (globalrand, maprange, rawgo, walltime) over
-# the whole module and fails on any diagnostic, malformed directive, or
-# unused //pruner:allow suppression. See DESIGN.md §10.
+# The determinism & concurrency contract: pruner-vet runs all eight
+# internal/lint analyzers — the per-package generation (globalrand,
+# maprange, rawgo, walltime) and the call-graph generation (ctxflow,
+# errdrop, hotalloc, lockheld) — over the whole module and fails on any
+# diagnostic, malformed directive, or unused //pruner:allow suppression.
+# See DESIGN.md §10 and §12; `pruner-vet -json` emits the same
+# diagnostics (suppressed included) machine-readably.
 lint:
 	$(GO) build ./cmd/pruner-vet ./internal/lint
 	$(GO) run ./cmd/pruner-vet ./...
@@ -66,7 +72,12 @@ bench:
 # CI's benchmark smoke: every internal benchmark once (incl. the
 # verify-stage BenchmarkPredictBatched, the training-engine BenchmarkFit
 # and the BenchmarkTunePipeline depth sweep) plus a bounded root subset.
+# The first line is the zero-allocation gate (DESIGN.md §12): the
+# TestAlloc* tests pin the warmed *In inference kernels to 0 heap
+# allocations per run via testing.AllocsPerRun — the dynamic cross-check
+# of the static hotalloc analyzer.
 bench-smoke:
+	$(GO) test -run='^TestAlloc' -count=1 ./internal/nn
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) test -run='^$$' -bench='BenchmarkTuneParallel|BenchmarkAblation_SAvsOracle' -benchtime=1x -timeout=20m .
 

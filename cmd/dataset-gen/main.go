@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	dev, err := pruner.DeviceByName(*devName)
 	fatalIf(err)
 	names := strings.Split(*netsCSV, ",")
-	ds, err := pruner.GenerateDataset(dev, names, *perTask, *seed)
+	ds, err := pruner.GenerateDataset(context.Background(), dev, names, *perTask, *seed)
 	fatalIf(err)
 
 	fmt.Printf("device=%s tasks=%d entries=%d\n", dev.Name, len(ds.Sets), ds.Size())

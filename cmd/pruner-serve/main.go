@@ -88,7 +88,7 @@ func main() {
 	logger.Info("store opened", "dir", *storeDir, "records", stats.Records,
 		"devices", stats.Devices, "dropped_tail_lines", stats.Dropped)
 
-	srv, err := server.New(server.Config{
+	srv, err := server.New(context.Background(), server.Config{
 		Store:         st,
 		Pool:          pruner.NewPool(*par),
 		Workers:       *workers,

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -128,7 +129,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded pretrained %s weights from %s\n", pretrained.Kind, *modelIn)
 	case *pre > 0:
 		fmt.Fprintln(os.Stderr, "pretraining PaCM on K80 dataset...")
-		ds, err := pruner.GenerateDataset(pruner.K80, []string{"wide_resnet50", "vit", "gpt2"}, *pre, *seed)
+		ds, err := pruner.GenerateDataset(context.Background(), pruner.K80, []string{"wide_resnet50", "vit", "gpt2"}, *pre, *seed)
 		fatalIf(err)
 		_, pretrained, err := pruner.PretrainModel("pacm", ds, 10, *seed)
 		fatalIf(err)

@@ -3,14 +3,26 @@
 //
 //	pruner-vet ./...
 //	pruner-vet -checks rawgo,maprange ./internal/tuner/...
+//	pruner-vet -json ./... | jq 'select(.suppressed)'
 //
-// It exits 1 if any diagnostic survives — including malformed or unused
-// //pruner:allow suppressions — and 2 if the packages fail to load.
-// `make lint` and CI run it over the whole module; a clean run is part
-// of the bitwise-reproducibility contract (DESIGN.md §10).
+// Exit-code contract (stable, scripted against by make lint and CI):
+//
+//	0  every surviving diagnostic count is zero — the tree honors the
+//	   contract (suppressed findings may still exist; see -json)
+//	1  at least one diagnostic survives: a finding with no //pruner:allow,
+//	   or a malformed, unknown, reasonless, or unused suppression
+//	2  the packages failed to load (bad pattern, type error) or the
+//	   flags were invalid (unknown analyzer name)
+//
+// With -json, pruner-vet writes one JSON object per diagnostic to
+// stdout — suppressed ones included, so editors and CI dashboards see
+// the complete picture — while the exit code still keys on unsuppressed
+// findings only. A clean run is part of the bitwise-reproducibility
+// contract (DESIGN.md §10, §12).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,13 +31,26 @@ import (
 	"pruner/internal/lint"
 )
 
+// jsonDiag is the -json wire format: one object per line, one line per
+// diagnostic, suppressed or not.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
 func main() {
 	var (
 		checks   = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 		listOnly = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per diagnostic (suppressed included) instead of text")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pruner-vet [-checks name,...] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: pruner-vet [-checks name,...] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -62,16 +87,36 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	diags, err := lint.Run(patterns, analyzers)
+	// RunAll keeps the suppressed diagnostics (marked as such) so -json
+	// can report them; the exit code counts only the survivors either way.
+	all, err := lint.RunAll(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pruner-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	findings := 0
+	enc := json.NewEncoder(os.Stdout)
+	for _, d := range all {
+		if !d.Suppressed {
+			findings++
+		}
+		switch {
+		case *jsonOut:
+			_ = enc.Encode(jsonDiag{ // encoding a plain struct to stdout cannot fail usefully
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Check:      d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.Reason,
+			})
+		case !d.Suppressed:
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "pruner-vet: %d finding(s)\n", len(diags))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pruner-vet: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,12 +19,12 @@ import (
 func main() {
 	// Train split: networks the models learn from. Test split: the
 	// paper's held-out set (here two of them, for speed).
-	train, err := pruner.GenerateDataset(pruner.T4,
+	train, err := pruner.GenerateDataset(context.Background(), pruner.T4,
 		[]string{"wide_resnet50", "inception_v3", "gpt2"}, 250, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
-	test, err := pruner.GenerateDataset(pruner.T4,
+	test, err := pruner.GenerateDataset(context.Background(), pruner.T4,
 		[]string{"resnet50", "bert_tiny"}, 250, 22)
 	if err != nil {
 		log.Fatal(err)

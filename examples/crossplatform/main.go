@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func pretrainPaCM() (*pruner.Pretrained, error) {
 
 	// Step 1: offline dataset on the source platform (TenSet's K80).
 	fmt.Println("generating K80 pretraining dataset...")
-	ds, err := pruner.GenerateDataset(pruner.K80,
+	ds, err := pruner.GenerateDataset(context.Background(), pruner.K80,
 		[]string{"wide_resnet50", "vit", "gpt2", "inception_v3"}, 350, 7)
 	if err != nil {
 		return nil, err

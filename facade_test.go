@@ -2,6 +2,7 @@ package pruner
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // -model-out/-model-in CLI flags: kind plus bitwise-identical weights,
 // with architecture-mismatched or unknown bundles rejected.
 func TestSaveLoadModelRoundtrip(t *testing.T) {
-	train, err := GenerateDataset(T4, []string{"dcgan"}, 40, 3)
+	train, err := GenerateDataset(context.Background(), T4, []string{"dcgan"}, 40, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestTuneRequiresPretrained(t *testing.T) {
 		t.Error("unknown method should error")
 	}
 	// Kind mismatch.
-	ds, err := GenerateDataset(K80, []string{"dcgan"}, 40, 1)
+	ds, err := GenerateDataset(context.Background(), K80, []string{"dcgan"}, 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestPretrainAndTopK(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training")
 	}
-	train, err := GenerateDataset(T4, []string{"dcgan"}, 60, 2)
+	train, err := GenerateDataset(context.Background(), T4, []string{"dcgan"}, 60, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

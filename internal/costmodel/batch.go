@@ -1,6 +1,8 @@
 package costmodel
 
 import (
+	"sync"
+
 	"pruner/internal/features"
 	"pruner/internal/ir"
 	"pruner/internal/nn"
@@ -66,6 +68,41 @@ func predictBatched(pool *parallel.Pool, params []*nn.Tensor, memo *schedule.Mem
 	return out
 }
 
+// scratchPool is a typed free list of inference arenas, one drawn per
+// engine dispatch. A plain mutex-guarded slice rather than sync.Pool:
+// Put/Get on a sync.Pool box the pointer through an interface (an
+// allocation per dispatch — exactly what the arena exists to avoid), and
+// the GC may drop pooled arenas between rounds, refuting the warm-state
+// guarantee the AllocsPerRun gates measure.
+var scratchPool struct {
+	mu   sync.Mutex
+	free []*nn.Scratch
+}
+
+// getScratch pops a warmed arena or builds a fresh one (cold path only:
+// the list converges to the pool's worker count).
+func getScratch() *nn.Scratch {
+	scratchPool.mu.Lock()
+	n := len(scratchPool.free)
+	if n == 0 {
+		scratchPool.mu.Unlock()
+		return &nn.Scratch{}
+	}
+	s := scratchPool.free[n-1]
+	scratchPool.free[n-1] = nil
+	scratchPool.free = scratchPool.free[:n-1]
+	scratchPool.mu.Unlock()
+	return s
+}
+
+// putScratch rewinds and parks an arena for the next dispatch.
+func putScratch(s *nn.Scratch) {
+	s.Reset()
+	scratchPool.mu.Lock()
+	scratchPool.free = append(scratchPool.free, s) //pruner:allow hotalloc — free-list growth is bounded by peak dispatch concurrency, then reused forever
+	scratchPool.mu.Unlock()
+}
+
 // statementBatch concatenates every candidate's statement feature rows
 // (shared cache references, no copies) plus the per-candidate segment
 // lengths.
@@ -99,10 +136,17 @@ func (m *TenSetMLP) freeze() batchForward {
 	return e.run
 }
 
+// run scores one chunk end to end on a pooled arena: feature rows
+// concatenate, embed, pool per candidate, head. Steady-state it performs
+// no heap allocations beyond the lens/rows headers and the score copy.
+//
+//pruner:hotpath
 func (e *tensetEngine) run(lws []*schedule.Lowered) []float64 {
+	s := getScratch()
+	defer putScratch(s)
 	rows, lens := statementBatch(lws)
-	emb := e.embed.ForwardReLURows(rows)
-	return scoresOut(e.head.Forward(nn.SegmentSumRows(emb, lens)))
+	emb := e.embed.ForwardReLURowsIn(s, rows)
+	return scoresOut(e.head.ForwardIn(s, nn.SegmentSumRowsIn(s, emb, lens)))
 }
 
 // pacmEngine is the frozen inference program of a PaCM, honouring the
@@ -131,11 +175,17 @@ func (m *PaCM) freeze() batchForward {
 	return e.run
 }
 
+// run scores one chunk on a pooled arena, honouring the branch ablation
+// flags; see tensetEngine.run for the allocation contract.
+//
+//pruner:hotpath
 func (e *pacmEngine) run(lws []*schedule.Lowered) []float64 {
+	s := getScratch()
+	defer putScratch(s)
 	var parts *nn.Tensor
 	if e.useStmt {
 		rows, lens := statementBatch(lws)
-		parts = nn.SegmentSumRows(e.stmt.ForwardReLURows(rows), lens)
+		parts = nn.SegmentSumRowsIn(s, e.stmt.ForwardReLURowsIn(s, rows), lens)
 	}
 	if e.useDf {
 		lens := make([]int, len(lws))
@@ -148,15 +198,15 @@ func (e *pacmEngine) run(lws []*schedule.Lowered) []float64 {
 		// share of rows across the chunk are identical; project distinct
 		// rows once and gather.
 		uniq, idx := nn.DedupRows(rows)
-		tokens := nn.Tanh(e.proj.ForwardRows(uniq))
-		ctx := nn.SegmentMeanRows(e.attn.ForwardSegmentsDedup(tokens, idx, lens), lens)
+		tokens := nn.TanhIn(s, e.proj.ForwardRowsIn(s, uniq))
+		ctx := nn.SegmentMeanRowsIn(s, e.attn.ForwardSegmentsDedupIn(s, tokens, idx, lens), lens)
 		if parts == nil {
 			parts = ctx
 		} else {
-			parts = nn.ConcatCols(parts, ctx)
+			parts = nn.ConcatColsIn(s, parts, ctx)
 		}
 	}
-	return scoresOut(e.head.Forward(parts))
+	return scoresOut(e.head.ForwardIn(s, parts))
 }
 
 // tlpEngine is the frozen inference program of a TLP.
@@ -171,7 +221,13 @@ func (m *TLP) freeze() batchForward {
 	return e.run
 }
 
+// run scores one chunk on a pooled arena; see tensetEngine.run for the
+// allocation contract.
+//
+//pruner:hotpath
 func (e *tlpEngine) run(lws []*schedule.Lowered) []float64 {
+	s := getScratch()
+	defer putScratch(s)
 	lens := make([]int, len(lws))
 	rows := make([][]float64, 0, len(lws)*features.PrimSeq)
 	for i, lw := range lws {
@@ -184,8 +240,8 @@ func (e *tlpEngine) run(lws []*schedule.Lowered) []float64 {
 	// recur across the whole chunk, so the projection and the attention's
 	// Q/K/V run once per distinct row.
 	uniq, idx := nn.DedupRows(rows)
-	x := e.attn.ForwardSegmentsDedup(e.proj.ForwardRows(uniq), idx, lens)
-	return scoresOut(e.head.Forward(nn.SegmentMeanRows(x, lens)))
+	x := e.attn.ForwardSegmentsDedupIn(s, e.proj.ForwardRowsIn(s, uniq), idx, lens)
+	return scoresOut(e.head.ForwardIn(s, nn.SegmentMeanRowsIn(s, x, lens)))
 }
 
 // predictReference is the per-candidate baseline the engine replaced: one

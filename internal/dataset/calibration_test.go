@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"testing"
 
 	"pruner/internal/costmodel"
@@ -37,8 +38,8 @@ func TestCalibrationModelOrdering(t *testing.T) {
 		ir.NewMatMul(512, 768, 768, ir.FP32, 1),
 		ir.NewConv2D(ir.Conv2DShape{N: 1, H: 14, W: 14, CI: 256, CO: 512, KH: 3, KW: 3, Stride: 1, Pad: 1}, ir.FP32, 1),
 	}
-	train := Generate(dev, trainTasks, GenOptions{SchedulesPerTask: 400, Seed: 11})
-	test := Generate(dev, testTasks, GenOptions{SchedulesPerTask: 400, Seed: 12})
+	train := Generate(context.Background(), dev, trainTasks, GenOptions{SchedulesPerTask: 400, Seed: 11})
+	test := Generate(context.Background(), dev, testTasks, GenOptions{SchedulesPerTask: 400, Seed: 12})
 
 	fit := costmodel.FitOptions{Epochs: 40, Seed: 5, MaxGroup: 128}
 	top1 := func(m costmodel.Model) float64 {

@@ -79,7 +79,7 @@ func (o GenOptions) withDefaults() GenOptions {
 // calibrated artefact — see the calibration tests — so it must not depend
 // on worker count or task fan-out); the per-schedule latency evaluations,
 // which dominate the cost, run on the worker pool.
-func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
+func Generate(ctx context.Context, dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 	opt = opt.withDefaults()
 	meas := opt.Measurer
 	if meas == nil {
@@ -109,7 +109,7 @@ func Generate(dev *device.Device, tasks []*ir.Task, opt GenOptions) *Dataset {
 		// identical to the historical in-process path for any backend
 		// that computes the same latencies.
 		set := &TaskSet{Task: t, Best: math.Inf(1)}
-		results, err := meas.Measure(context.Background(), measure.Request{
+		results, err := meas.Measure(ctx, measure.Request{
 			Device: dev.Name, Task: t, Batch: schs, Pool: pool,
 		})
 		if err != nil {

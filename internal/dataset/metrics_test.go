@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestWeightedBestK(t *testing.T) {
 
 func TestGenerateDropsFailures(t *testing.T) {
 	tasks := []*ir.Task{ir.NewMatMul(256, 256, 256, ir.FP32, 0)}
-	ds := Generate(device.T4, tasks, GenOptions{SchedulesPerTask: 100, Seed: 1})
+	ds := Generate(context.Background(), device.T4, tasks, GenOptions{SchedulesPerTask: 100, Seed: 1})
 	set := ds.Sets[0]
 	if len(set.Entries) == 0 {
 		t.Fatal("no valid entries")
@@ -101,7 +102,7 @@ func TestSubsampleAndRecords(t *testing.T) {
 		ir.NewMatMul(128, 128, 128, ir.FP32, 0),
 		ir.NewMatMul(256, 128, 128, ir.FP32, 0),
 	}
-	ds := Generate(device.T4, tasks, GenOptions{SchedulesPerTask: 60, Seed: 2})
+	ds := Generate(context.Background(), device.T4, tasks, GenOptions{SchedulesPerTask: 60, Seed: 2})
 	sub := ds.Subsample(10, 3)
 	for _, s := range sub.Sets {
 		if len(s.Entries) > 10 {

@@ -36,7 +36,7 @@ func (h *harness) testDataset(dev *device.Device) *dataset.Dataset {
 			out = append(out, t)
 		}
 	}
-	ds := dataset.Generate(dev, out, dataset.GenOptions{
+	ds := dataset.Generate(h.ctx, dev, out, dataset.GenOptions{
 		SchedulesPerTask: h.sc.datasetPerTask,
 		Seed:             h.cfg.Seed + 991,
 	})

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -38,6 +39,9 @@ type Config struct {
 	Full bool
 	Seed int64
 	Out  io.Writer
+	// Ctx cancels the run: it flows into every tuning session and dataset
+	// generation. Nil means run to completion (context.Background()).
+	Ctx context.Context
 	// CacheDir stores pretrained cost-model weights between runs
 	// (default ".cache").
 	CacheDir string
@@ -65,6 +69,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.Ctx == nil {
+		// Documented nil-Ctx default: experiment runs from the CLI own the
+		// process; cancellation arrives as a signal, not a context.
+		c.Ctx = context.Background() //pruner:allow ctxflow — documented nil-Ctx fallback at the run boundary; callers wanting cancellation set Config.Ctx
 	}
 	return c
 }
@@ -144,13 +153,14 @@ func scaleOf(full bool) scale {
 // suite worker pool used to fan independent tuning sessions out.
 type harness struct {
 	cfg  Config
+	ctx  context.Context // == cfg.Ctx; a receiver-level field so every harness method can forward it
 	sc   scale
 	pool *parallel.Pool
 }
 
 func newHarness(cfg Config) *harness {
 	cfg = cfg.withDefaults()
-	return &harness{cfg: cfg, sc: scaleOf(cfg.Full), pool: parallel.New(cfg.Parallelism)}
+	return &harness{cfg: cfg, ctx: cfg.Ctx, sc: scaleOf(cfg.Full), pool: parallel.New(cfg.Parallelism)}
 }
 
 func (h *harness) printf(format string, args ...any) {
@@ -195,18 +205,29 @@ func (h *harness) pretrainTasks() []*ir.Task {
 // get-or-generate runs under dsMu; the generation itself parallelizes
 // internally.
 func (h *harness) offlineDataset(dev *device.Device) *dataset.Dataset {
-	dsMu.Lock()
-	defer dsMu.Unlock()
 	key := fmt.Sprintf("ds-%s-%s", dev.Name, h.sc.tag)
-	if ds, ok := dsCache[key]; ok {
+	dsMu.Lock()
+	ds, ok := dsCache[key]
+	dsMu.Unlock()
+	if ok {
 		return ds
 	}
-	ds := dataset.Generate(dev, h.pretrainTasks(), dataset.GenOptions{
+	// Generate outside the lock: a dataset build dispatches measurements
+	// and must not stall other runners on dsMu. Generation is
+	// deterministic, so a racing duplicate build produces an identical
+	// dataset and only the cache insert needs arbitration.
+	ds = dataset.Generate(h.ctx, dev, h.pretrainTasks(), dataset.GenOptions{
 		SchedulesPerTask: h.sc.datasetPerTask,
 		Seed:             h.cfg.Seed + int64(len(key)),
 		Pool:             h.pool,
 	})
-	dsCache[key] = ds
+	dsMu.Lock()
+	if cached, ok := dsCache[key]; ok {
+		ds = cached
+	} else {
+		dsCache[key] = ds
+	}
+	dsMu.Unlock()
 	return ds
 }
 
@@ -238,21 +259,24 @@ func newModel(kind string, seed int64) costmodel.Model {
 // sessions training the same weights (it nests over dsMu via
 // offlineDataset; nothing acquires them in the reverse order).
 func (h *harness) pretrained(kind string, dev *device.Device) []*nn.Tensor {
-	preMu.Lock()
-	defer preMu.Unlock()
 	key := fmt.Sprintf("pre-%s-%s-%s", kind, dev.Name, h.sc.tag)
-	if w, ok := preCache[key]; ok {
+	preMu.Lock()
+	w, ok := preCache[key]
+	preMu.Unlock()
+	if ok {
 		return w
 	}
+	// Pretraining (and the dataset generation it may trigger) runs
+	// outside the lock: it dispatches measurements and can take minutes.
+	// Fitting is deterministic for a fixed seed, so a racing duplicate
+	// yields identical weights; the cache insert arbitrates below.
 	m := newModel(kind, h.cfg.Seed+77)
 	path := filepath.Join(h.cfg.CacheDir, key+".gob")
 	if f, err := os.Open(path); err == nil {
 		err = nn.LoadParams(f, m.Params())
-		f.Close()
+		_ = f.Close() // read-side close of a best-effort cache
 		if err == nil {
-			w := tuner.SnapshotParams(m)
-			preCache[key] = w
-			return w
+			return h.insertPretrained(key, tuner.SnapshotParams(m))
 		}
 	}
 	ds := h.offlineDataset(dev)
@@ -265,14 +289,24 @@ func (h *harness) pretrained(kind string, dev *device.Device) []*nn.Tensor {
 		Epochs: h.sc.pretrainEpochs, Seed: h.cfg.Seed, MaxGroup: 128,
 		Cache: costmodel.NewFitCache(), // once-per-record features across epochs
 	})
-	w := tuner.SnapshotParams(m)
-	preCache[key] = w
+	w = h.insertPretrained(key, tuner.SnapshotParams(m))
 	if err := os.MkdirAll(h.cfg.CacheDir, 0o755); err == nil {
 		if f, err := os.Create(path); err == nil {
 			_ = nn.SaveParams(f, m.Params())
-			f.Close()
+			_ = f.Close() // cache write is best-effort; a torn file fails LoadParams next run
 		}
 	}
+	return w
+}
+
+// insertPretrained publishes freshly fitted weights, first writer wins.
+func (h *harness) insertPretrained(key string, w []*nn.Tensor) []*nn.Tensor {
+	preMu.Lock()
+	defer preMu.Unlock()
+	if cached, ok := preCache[key]; ok {
+		return cached
+	}
+	preCache[key] = w
 	return w
 }
 
@@ -288,6 +322,7 @@ var (
 func (h *harness) tune(dev *device.Device, tasks []*ir.Task, method string, seed int64) *tuner.Result {
 	sc := h.sc
 	opt := tuner.Options{
+		Ctx:           h.ctx,
 		Trials:        sc.trials,
 		Seed:          seed,
 		Pool:          h.pool, // one budget across the suite, not one per session

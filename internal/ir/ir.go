@@ -244,7 +244,7 @@ func (t *Task) fingerprint() string {
 		o := &t.Inputs[i]
 		fmt.Fprintf(&sb, "|%v%v%.2f", o.SpatialIdx, o.ReduceIdx, o.FootprintScale)
 	}
-	h.Write([]byte(sb.String()))
+	_, _ = h.Write([]byte(sb.String())) // hash.Hash.Write never fails
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

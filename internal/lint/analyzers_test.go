@@ -45,3 +45,32 @@ func TestWallTimeAllowedPackage(t *testing.T) {
 		t.Errorf("unexpected diagnostic in boundary package: %s", d)
 	}
 }
+
+func TestCtxFlowFixture(t *testing.T) {
+	runModuleFixture(t, CtxFlow, "fixture/ctxflow", "ctxflow")
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	runModuleFixture(t, LockHeld, "fixture/lockheld", "lockheld")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runModuleFixture(t, HotAlloc, "fixture/hotalloc", "hotalloc")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	runFixture(t, ErrDrop, "fixture/internal/errdrop", "errdrop")
+}
+
+// TestErrDropScopedToInternal type-checks the same fixture under a
+// non-internal import path, where the check does not apply.
+func TestErrDropScopedToInternal(t *testing.T) {
+	pkg := loadFixture(t, "fixture/errdrop", "errdrop")
+	diags, err := runAnalyzers(pkg, []*Analyzer{ErrDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside internal/: %s", d)
+	}
+}

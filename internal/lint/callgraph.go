@@ -1,0 +1,465 @@
+package lint
+
+// The whole-module static call graph behind the second-generation
+// analyzers (ctxflow, lockheld, hotalloc). PR 6's checks were
+// single-function and syntactic; the contracts added here — "everything
+// that can block carries a context", "nothing blocks while a mutex is
+// held", "nothing on a hot path allocates" — are properties of call
+// *chains*, so they need reachability over the module, not pattern
+// matches inside one body.
+//
+// The graph stays stdlib-only like the loader: nodes are the module's
+// own function and method declarations, edges are statically resolvable
+// calls (package functions, concrete and interface method calls), and
+// function literals are tracked by attribution — a literal's calls and
+// channel operations belong to the declared function that encloses it,
+// which soundly covers the repo's dominant literal idioms (pool
+// callbacks, pipelined-round goroutines, tape closures). Calls through
+// function-typed values are recorded separately as callback sites: the
+// callee is unknown at analysis time, which is exactly the property
+// lockheld needs to flag them under a held lock.
+//
+// Because each package is type-checked against export data, the same
+// function is represented by distinct *types.Func objects in different
+// packages' universes. Nodes and edges therefore key on a stable
+// printable ID — "pkgpath.Func" or "pkgpath.Recv.Method" with pointer
+// receivers normalized away — so cross-package edges resolve exactly.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncID returns the stable cross-package identifier of a function or
+// method: "path/to/pkg.Name" for package functions,
+// "path/to/pkg.Recv.Name" for methods (pointer receivers normalized to
+// their element type, so (*T).M and T.M collide intentionally —
+// contracts do not distinguish them). Interface methods use the
+// interface's own named type as the receiver.
+func FuncID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return t.String() + "." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// A CallSite is one statically resolved call inside a function body.
+type CallSite struct {
+	CalleeID string
+	Pos      token.Pos
+}
+
+// A FuncNode is one declared function or method of the module, with the
+// body facts the contract analyzers consume. Function literals inside
+// the body are attributed to it.
+type FuncNode struct {
+	ID   string
+	Decl *ast.FuncDecl
+	Pkg  *LoadedPackage
+
+	// Calls holds every statically resolved call — module-local and
+	// imported alike; traversals restrict to module nodes by lookup.
+	Calls []CallSite
+	// ChanOps are blocking channel operations: sends, receives, ranges
+	// over channels, and selects without a default clause. A send or
+	// receive that is the communication of a select *with* a default is
+	// non-blocking by construction and is not recorded.
+	ChanOps []token.Pos
+	// CallbackCalls are calls through function-typed values the function
+	// did not define itself — parameters and struct fields — i.e. calls
+	// into caller-supplied code.
+	CallbackCalls []CallSite
+	// HasCtx reports whether a context reaches the function: a
+	// context.Context parameter, a parameter or receiver whose struct
+	// type carries a context.Context field (the Options / search.Context
+	// idiom), or an *http.Request (context via r.Context()).
+	HasCtx bool
+	// Hot marks a //pruner:hotpath annotation on the declaration.
+	Hot bool
+}
+
+// A CallGraph indexes the module's declared functions by ID.
+type CallGraph struct {
+	Nodes map[string]*FuncNode
+}
+
+// hotPathDirective marks a function as a hot-path root for the hotalloc
+// analyzer: everything reachable from it must stay allocation-free.
+const hotPathDirective = "pruner:hotpath"
+
+// BuildCallGraph walks every declaration of the loaded packages once and
+// assembles the module call graph.
+func BuildCallGraph(pkgs []*LoadedPackage) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			hotLines := hotDirectiveLines(pkg.Fset, f)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{ID: FuncID(obj), Decl: fd, Pkg: pkg}
+				n.HasCtx = declHasCtx(pkg.Info, fd)
+				pos := pkg.Fset.Position(fd.Pos())
+				n.Hot = hotLines[pos.Line] || hotLines[pos.Line-1]
+				collectBodyFacts(pkg.Info, fd, n)
+				g.Nodes[n.ID] = n
+			}
+		}
+	}
+	return g
+}
+
+// hotDirectiveLines returns the line numbers carrying //pruner:hotpath
+// comments in one file, so an annotation is honored whether it sits in
+// the doc comment block or on the line directly above the declaration.
+func hotDirectiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//"+hotPathDirective) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// carriesCtx reports whether a parameter of type t gives the function a
+// context to forward: the context itself, a struct (or pointer to one)
+// with a context.Context field, or an *http.Request.
+func carriesCtx(t types.Type) bool {
+	if isCtxType(t) {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request" {
+			return true
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isCtxType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// declHasCtx checks the declaration's receiver and parameters for a
+// context (see carriesCtx).
+func declHasCtx(info *types.Info, fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			if tv, ok := info.Types[field.Type]; ok && carriesCtx(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+// calleeFunc statically resolves a call expression to the function or
+// method object it invokes — package functions, concrete methods, and
+// interface methods alike. Calls of function-typed values and type
+// conversions resolve to nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// callbackTarget classifies a call of a function-typed value: it returns
+// a printable description when the value is caller-supplied (a parameter
+// of the enclosing declaration or a struct field) and "" otherwise.
+// Locally defined literals are not callbacks — their bodies are already
+// attributed to the enclosing function.
+func callbackTarget(info *types.Info, call *ast.CallExpr, params map[types.Object]bool) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[fun].(*types.Var); ok {
+			if _, sig := v.Type().Underlying().(*types.Signature); !sig {
+				return ""
+			}
+			if v.IsField() || params[v] {
+				return fun.Name
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				if _, sig := v.Type().Underlying().(*types.Signature); sig {
+					return v.Name()
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// collectBodyFacts walks one declaration body — literals included, select
+// communications handled for blocking semantics — and fills the node's
+// call, channel-op, and callback lists.
+func collectBodyFacts(info *types.Info, fd *ast.FuncDecl, n *FuncNode) {
+	params := map[types.Object]bool{}
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	addParams(fd.Type.Params)
+
+	var walk func(node ast.Node, nonBlockingComm map[ast.Node]bool)
+	walk = func(node ast.Node, nonBlockingComm map[ast.Node]bool) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.CallExpr:
+				if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				if fn := calleeFunc(info, v); fn != nil {
+					n.Calls = append(n.Calls, CallSite{CalleeID: FuncID(fn), Pos: v.Pos()})
+				} else if cb := callbackTarget(info, v, params); cb != "" {
+					n.CallbackCalls = append(n.CallbackCalls, CallSite{CalleeID: cb, Pos: v.Pos()})
+				}
+			case *ast.SendStmt:
+				if !nonBlockingComm[x] {
+					n.ChanOps = append(n.ChanOps, v.Pos())
+				}
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW && !nonBlockingComm[x] {
+					n.ChanOps = append(n.ChanOps, v.Pos())
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[v.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						n.ChanOps = append(n.ChanOps, v.Pos())
+					}
+				}
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, cl := range v.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					n.ChanOps = append(n.ChanOps, v.Pos())
+				}
+				// The communications themselves take the select's blocking
+				// semantics: mark them so the generic cases above skip them
+				// when a default clause makes the whole select a poll.
+				nb := nonBlockingComm
+				if hasDefault {
+					nb = map[ast.Node]bool{}
+					for k := range nonBlockingComm {
+						nb[k] = true
+					}
+					for _, cl := range v.Body.List {
+						if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+							markComm(cc.Comm, nb)
+						}
+					}
+				}
+				for _, cl := range v.Body.List {
+					walk(cl, nb)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(fd.Body, map[ast.Node]bool{})
+}
+
+// markComm records a select communication statement's send/receive nodes.
+func markComm(comm ast.Stmt, set map[ast.Node]bool) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		set[s] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			set[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				set[u] = true
+			}
+		}
+	}
+}
+
+// Transitive computes the set of module functions for which direct holds
+// or that reach such a function through module-local calls, excluding
+// functions (and call targets) for which skip holds. It is the shared
+// fixed-point behind "reaches a blocking operation" and friends.
+func (g *CallGraph) Transitive(direct func(*FuncNode) bool, skip func(*FuncNode) bool) map[string]bool {
+	result := map[string]bool{}
+	ids := g.sortedNodeIDs()
+	for _, id := range ids {
+		n := g.Nodes[id]
+		if (skip == nil || !skip(n)) && direct(n) {
+			result[id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			n := g.Nodes[id]
+			if result[id] || (skip != nil && skip(n)) {
+				continue
+			}
+			for _, c := range n.Calls {
+				callee := g.Nodes[c.CalleeID]
+				if callee == nil || (skip != nil && skip(callee)) {
+					continue
+				}
+				if result[c.CalleeID] {
+					result[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return result
+}
+
+// ReachableFrom returns every module function reachable from the given
+// root IDs (roots included) through module-local calls.
+func (g *CallGraph) ReachableFrom(roots []string) map[string]bool {
+	seen := map[string]bool{}
+	stack := append([]string(nil), roots...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] || g.Nodes[id] == nil {
+			continue
+		}
+		seen[id] = true
+		for _, c := range g.Nodes[id].Calls {
+			if g.Nodes[c.CalleeID] != nil && !seen[c.CalleeID] {
+				stack = append(stack, c.CalleeID)
+			}
+		}
+	}
+	return seen
+}
+
+// PathTo returns one shortest module-local call path from the function to
+// a node satisfying direct — the explanation attached to reachability
+// diagnostics ("Tune → plan → Measurer.Measure"). The final element is
+// the direct node's ID; a nil return means no path exists.
+func (g *CallGraph) PathTo(from string, direct func(*FuncNode) bool, skip func(*FuncNode) bool) []string {
+	type item struct {
+		id   string
+		prev *item
+	}
+	start := g.Nodes[from]
+	if start == nil {
+		return nil
+	}
+	unwind := func(it *item) []string {
+		var path []string
+		for ; it != nil; it = it.prev {
+			path = append(path, it.id)
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		return path
+	}
+	queue := []*item{{id: from}}
+	visited := map[string]bool{from: true}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n := g.Nodes[it.id]
+		if n == nil || (skip != nil && skip(n)) {
+			continue
+		}
+		if direct(n) {
+			return unwind(it)
+		}
+		// Deterministic expansion order: call sites in source order.
+		for _, c := range n.Calls {
+			if !visited[c.CalleeID] && g.Nodes[c.CalleeID] != nil {
+				visited[c.CalleeID] = true
+				queue = append(queue, &item{id: c.CalleeID, prev: it})
+			}
+		}
+	}
+	return nil
+}
+
+// sortedNodeIDs returns the graph's node IDs in stable order, for
+// deterministic analyzer traversals.
+func (g *CallGraph) sortedNodeIDs() []string {
+	ids := make([]string, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -24,7 +24,10 @@ var fixtureFset = token.NewFileSet()
 // stdImporter builds one gc-export-data importer for the stdlib
 // packages fixtures use, shared by all fixture tests.
 var stdImporter = sync.OnceValues(func() (types.Importer, error) {
-	pkgs, err := goList([]string{"math/rand", "math/rand/v2", "time", "sort", "slices"})
+	pkgs, err := goList([]string{
+		"bytes", "context", "errors", "fmt", "math/rand", "math/rand/v2",
+		"net/http", "os", "slices", "sort", "strings", "sync", "time",
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +73,19 @@ func runFixture(t *testing.T, a *Analyzer, importPath, rel string) {
 	t.Helper()
 	pkg := loadFixture(t, importPath, rel)
 	diags, err := runAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortDiagnostics(diags)
+	checkWants(t, pkg, diags)
+}
+
+// runModuleFixture loads a fixture as a one-package module, runs one
+// call-graph analyzer over it, and diffs against the want comments.
+func runModuleFixture(t *testing.T, a *Analyzer, importPath, rel string) {
+	t.Helper()
+	pkg := loadFixture(t, importPath, rel)
+	diags, err := runModuleAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,18 @@
 // moment new concurrent code (sharded control plane, fleet remediation,
 // speculative re-dispatch) breaks one.
 //
+// The suite has two generations. The per-package syntactic checks —
+// globalrand, maprange, rawgo, walltime — inspect one package's typed
+// AST at a time. The call-graph generation — ctxflow, errdrop, hotalloc,
+// lockheld — builds a whole-module static call graph (CallGraph) and
+// checks cross-function contracts over it: context must flow to
+// everything that can block, mutexes must not be held across blocking
+// calls or calls into caller-supplied code, functions reachable from a
+// //pruner:hotpath root must contain no heap-allocating constructs
+// (cross-checked dynamically by the TestAlloc* AllocsPerRun gates), and
+// internal packages must not silently drop error returns. See DESIGN.md
+// §10 and §12.
+//
 // The framework is deliberately dependency-free: packages are discovered
 // with `go list -deps -export -json`, parsed with go/parser, and
 // type-checked with go/types against the compiler's export data, so the
@@ -34,12 +46,15 @@ import (
 )
 
 // An Analyzer describes one check: a name (used in diagnostics and in
-// //pruner:allow directives), a short doc string, and a Run function
-// invoked once per package.
+// //pruner:allow directives), a short doc string, and exactly one of
+// two run functions — Run for single-package syntactic checks (the PR 6
+// generation) or RunModule for whole-module contracts that need the
+// static call graph (ctxflow, lockheld, hotalloc).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // A Pass carries one package's syntax and type information to an
@@ -63,20 +78,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one finding, resolved to a file position.
+// A ModulePass hands a whole-module analyzer every loaded package plus
+// the call graph built over them. Diagnostics may land in any file.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*LoadedPackage
+	Graph    *CallGraph
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos in the given package's file set.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position. Suppressed
+// findings (waived by a //pruner:allow directive) survive only through
+// RunAll, marked with the directive's reason, so machine consumers (the
+// -json driver output) can render the full picture; Run drops them.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	Reason     string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the PR 6
+// single-package generation plus the call-graph contract analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{GlobalRand, MapRange, RawGo, WallTime}
+	return []*Analyzer{CtxFlow, ErrDrop, GlobalRand, HotAlloc, LockHeld, MapRange, RawGo, WallTime}
 }
 
 // byName resolves the suite into a lookup table for directive validation.
@@ -88,11 +129,15 @@ func byName(analyzers []*Analyzer) map[string]*Analyzer {
 	return m
 }
 
-// runAnalyzers applies each analyzer to a loaded package and collects
-// raw (pre-suppression) diagnostics.
+// runAnalyzers applies each per-package analyzer to a loaded package and
+// collects raw (pre-suppression) diagnostics. Module analyzers (Run ==
+// nil) are handled by runModuleAnalyzers over the full package set.
 func runAnalyzers(pkg *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -103,6 +148,35 @@ func runAnalyzers(pkg *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, erro
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// runModuleAnalyzers builds the call graph once and applies every
+// whole-module analyzer over the full loaded package set.
+func runModuleAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		}
+	}
+	if len(moduleAnalyzers) == 0 || len(pkgs) == 0 {
+		return nil, nil
+	}
+	graph := BuildCallGraph(pkgs)
+	var diags []Diagnostic
+	for _, a := range moduleAnalyzers {
+		pass := &ModulePass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
 		}
 	}
 	return diags, nil

@@ -5,6 +5,24 @@ package lint
 // diagnostics (including malformed and unused suppressions) in stable
 // order. An empty result means the tree honors the contract.
 func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(patterns, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunAll is Run without the suppression filter: waived diagnostics are
+// returned too, marked Suppressed with the directive's reason, so the
+// -json driver output can show CI and editors the complete picture.
+// Exit-code decisions should still key on the unsuppressed findings.
+func RunAll(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		return nil, err
@@ -19,24 +37,35 @@ func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	for name, a := range selected {
 		known[name] = a
 	}
-	var all []Diagnostic
+	// Per-package analyzers and suppressions first; module analyzers see
+	// the whole package set at once, so their diagnostics — which may
+	// land in any file — join the pool before suppressions apply.
+	var diags, bad []Diagnostic
+	var supps []*Suppression
 	for _, pkg := range pkgs {
-		diags, err := runAnalyzers(pkg, analyzers)
+		d, err := runAnalyzers(pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
-		supps, bad := CollectSuppressions(pkg.Fset, pkg.Files, known)
-		active := supps[:0:0]
-		for _, s := range supps {
-			if selected[s.Check] != nil {
-				active = append(active, s)
+		diags = append(diags, d...)
+		s, b := CollectSuppressions(pkg.Fset, pkg.Files, known)
+		for _, sup := range s {
+			if selected[sup.Check] != nil {
+				supps = append(supps, sup)
 			}
 		}
-		kept, unused := ApplySuppressions(diags, active)
-		all = append(all, kept...)
-		all = append(all, bad...)
-		all = append(all, unused...)
+		bad = append(bad, b...)
 	}
+	md, err := runModuleAnalyzers(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, md...)
+
+	kept, suppressed, unused := ApplySuppressions(diags, supps)
+	all := append(kept, suppressed...)
+	all = append(all, bad...)
+	all = append(all, unused...)
 	sortDiagnostics(all)
 	return all, nil
 }

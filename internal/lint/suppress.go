@@ -82,12 +82,13 @@ func splitDirective(text string) (check, reason string) {
 	return check, reason
 }
 
-// ApplySuppressions filters diagnostics covered by a directive on the
-// same or the preceding line of the same file, and returns the findings
-// that survive plus one diagnostic per directive that matched nothing —
-// unused suppressions fail the run so the allowlist cannot rot after
-// the underlying code is fixed or moved.
-func ApplySuppressions(diags []Diagnostic, supps []*Suppression) (kept []Diagnostic, unused []Diagnostic) {
+// ApplySuppressions splits diagnostics on //pruner:allow coverage (a
+// directive on the same or the preceding line of the same file):
+// unmatched findings come back in kept, waived ones in suppressed —
+// marked and carrying the directive's reason, for the -json output —
+// and one diagnostic per directive that matched nothing in unused, so
+// the allowlist cannot rot after the underlying code is fixed or moved.
+func ApplySuppressions(diags []Diagnostic, supps []*Suppression) (kept, suppressed, unused []Diagnostic) {
 	type key struct {
 		file  string
 		line  int
@@ -97,13 +98,19 @@ func ApplySuppressions(diags []Diagnostic, supps []*Suppression) (kept []Diagnos
 	for _, s := range supps {
 		index[key{s.Pos.Filename, s.Pos.Line, s.Check}] = s
 	}
+	waive := func(d Diagnostic, s *Suppression) {
+		s.used = true
+		d.Suppressed = true
+		d.Reason = s.Reason
+		suppressed = append(suppressed, d)
+	}
 	for _, d := range diags {
 		if s, ok := index[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
-			s.used = true
+			waive(d, s)
 			continue
 		}
 		if s, ok := index[key{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
-			s.used = true
+			waive(d, s)
 			continue
 		}
 		kept = append(kept, d)
@@ -117,5 +124,5 @@ func ApplySuppressions(diags []Diagnostic, supps []*Suppression) (kept []Diagnos
 			})
 		}
 	}
-	return kept, unused
+	return kept, suppressed, unused
 }

@@ -34,11 +34,21 @@ func TestSuppressions(t *testing.T) {
 		}
 	}
 
-	kept, unused := ApplySuppressions(diags, supps)
+	kept, suppressed, unused := ApplySuppressions(diags, supps)
 	// The two go statements under malformed directives survive: a broken
 	// allowlist entry must not silently suppress.
 	if len(kept) != 2 {
 		t.Fatalf("%d diagnostics survived suppression, want 2: %v", len(kept), kept)
+	}
+	// The two waived diagnostics come back marked, each carrying its
+	// directive's reason, so the -json output can render them.
+	if len(suppressed) != 2 {
+		t.Fatalf("%d diagnostics marked suppressed, want 2: %v", len(suppressed), suppressed)
+	}
+	for _, d := range suppressed {
+		if !d.Suppressed || d.Reason == "" {
+			t.Errorf("suppressed diagnostic lacks mark or reason: %+v", d)
+		}
 	}
 	if len(unused) != 1 {
 		t.Fatalf("%d unused suppressions, want 1: %v", len(unused), unused)

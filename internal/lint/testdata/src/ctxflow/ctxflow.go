@@ -1,0 +1,68 @@
+// Package ctxflow exercises the cancellation-plumbing contract: every
+// function that can block must accept a context, and no library code
+// may mint a fresh root context.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Direct blocking leaf with no context: flagged at the declaration.
+func sleepy() { // want `sleepy reaches a blocking operation \(ctxflow.sleepy → time.Sleep\) but accepts no context.Context`
+	time.Sleep(time.Second)
+}
+
+// Blocking laundered through a helper: the call graph catches it and the
+// diagnostic explains the path.
+func laundered() { // want `laundered reaches a blocking operation \(ctxflow.laundered → ctxflow.sleepy → time.Sleep\)`
+	sleepy()
+}
+
+// A context parameter satisfies the contract.
+func withCtx(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Millisecond)
+}
+
+// Options carries a context field: the Options / search.Context idiom.
+type Options struct {
+	Ctx context.Context
+}
+
+func viaOptions(opt Options) {
+	time.Sleep(time.Duration(len("x")))
+}
+
+// *http.Request carries a context via r.Context().
+func handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+}
+
+// A blocking channel send is a blocking operation in its own right.
+func sender(ch chan int) { // want `sender reaches a blocking operation \(ctxflow.sender → channel operation\)`
+	ch <- 1
+}
+
+// A select with a default clause is a poll, not a block.
+func poll(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Fresh root contexts below the cmd boundary are forbidden.
+func mint() context.Context {
+	return context.Background() // want `context.Background mints a fresh root below the cmd boundary`
+}
+
+func fallback(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.TODO() // want `context.TODO mints a fresh root below the cmd boundary`
+	}
+	return ctx
+}

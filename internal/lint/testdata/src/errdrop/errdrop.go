@@ -1,0 +1,44 @@
+// Package errdrop exercises the no-silent-error-drop contract for
+// internal packages.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func drop() {
+	fail()     // want `error returned by errdrop.fail is silently dropped`
+	pair()     // want `error returned by errdrop.pair is silently dropped`
+	_ = fail() // explicit discard is visible in review: fine
+	if err := fail(); err != nil {
+		_ = err
+	}
+	var sb strings.Builder
+	sb.WriteString("ok") // in-memory writer: exempt by callee
+	fmt.Println("ok")    // print family: exempt by callee
+}
+
+func closer() error {
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred Close is cleanup on an error path: exempt
+	f.Close()       // want `error returned by os.File.Close is silently dropped`
+	return nil
+}
+
+func run(f func() error) {
+	f() // want `error returned by function value is silently dropped`
+}
+
+func spawn() {
+	go fail() // want `error returned by errdrop.fail is silently dropped`
+}

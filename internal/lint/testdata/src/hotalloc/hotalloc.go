@@ -1,0 +1,59 @@
+// Package hotalloc exercises the zero-allocation hot-path contract:
+// everything reachable from a //pruner:hotpath root must avoid
+// heap-allocating constructs.
+package hotalloc
+
+import "fmt"
+
+type model struct {
+	buf []float64
+}
+
+//pruner:hotpath
+func (m *model) Forward(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += m.kernel(x)
+	}
+	return sum
+}
+
+func (m *model) kernel(x float64) float64 {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %v", x)) // panic paths are exempt
+	}
+	sq := func(v float64) float64 { return v * v } // capture-free literal: static, no alloc
+	sum := sq(x)
+	m.buf = append(m.buf, x) // want `append without visible preallocation`
+	pre := make([]float64, 0, 4)
+	pre = append(pre, x) // preallocated destination: fine
+	sum += pre[0]
+	grown := make([]float64, 8) // arena-style slice growth is legal
+	sum += grown[0]
+	m.describe(x)
+	_ = m.tape(x)
+	return sum
+}
+
+func (m *model) describe(x float64) {
+	s := fmt.Sprintf("%v", x) // want `fmt.Sprintf allocates`
+	t := s + "!"              // want `string concatenation allocates`
+	_ = t
+	idx := map[string]int{}        // want `map literal allocates`
+	counts := make(map[string]int) // want `make\(map\) allocates`
+	_, _ = idx, counts
+	box(x) // want `argument boxed into interface parameter`
+}
+
+func box(v any) {
+	_ = v
+}
+
+func (m *model) tape(x float64) func() float64 {
+	return func() float64 { return x * 2 } // want `function literal captures "x"`
+}
+
+// Not reachable from the root: fmt here is nobody's business.
+func debugDump(m *model) string {
+	return fmt.Sprintf("%+v", m.buf)
+}

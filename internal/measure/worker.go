@@ -129,12 +129,12 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("POST /measure", w.handleMeasure)
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(rw).Encode(w.Status())
+		_ = json.NewEncoder(rw).Encode(w.Status()) // response write failure is the client's problem
 	})
 	if reg := w.opts.Metrics; reg != nil {
 		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
 			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			reg.WriteText(rw)
+			_ = reg.WriteText(rw) // scrape write failure is the scraper's problem
 		})
 	}
 	return mux
@@ -213,7 +213,7 @@ func (w *Worker) handleMeasure(rw http.ResponseWriter, r *http.Request) {
 		// fleet sees a short read instead of a silently truncated batch.
 		if hj, ok := rw.(http.Hijacker); ok {
 			if conn, _, err := hj.Hijack(); err == nil {
-				conn.Close()
+				_ = conn.Close() // dropping the connection IS the error signal here
 			}
 		}
 	}
@@ -222,7 +222,7 @@ func (w *Worker) handleMeasure(rw http.ResponseWriter, r *http.Request) {
 func workerError(rw http.ResponseWriter, code int, format string, args ...any) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(code)
-	json.NewEncoder(rw).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(rw).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}) // best-effort error body
 }
 
 // encodeRequest serialises a Request into the wire form the worker reads.

@@ -9,6 +9,14 @@
 // finite weights: a zero activation then contributes an exact ±0.0 term,
 // which cannot perturb any partial sum, letting the inner loop run
 // branchless where the tape operator branches per term.
+//
+// Every kernel comes in two spellings: the plain form allocates its
+// outputs (convenient for tests and one-off calls), and the *In form
+// threads a *Scratch arena through the whole chain so a warmed call
+// performs zero heap allocations — the contract the //pruner:hotpath
+// annotations declare, the hotalloc analyzer enforces statically, and
+// the TestAlloc* gates pin dynamically. The two forms share one body
+// (plain delegates with a nil Scratch), so they cannot drift.
 package nn
 
 import (
@@ -41,12 +49,18 @@ func RowsView(x *Tensor, lo, hi int) *Tensor {
 // activations are all zero are skipped outright (feature rows carry long
 // zero tails), matching MatMul's per-term zero-skip.
 func matmulFused(x, w *Tensor, bias []float64, relu bool) *Tensor {
+	return matmulFusedIn(nil, x, w, bias, relu)
+}
+
+// matmulFusedIn is matmulFused with the output and the nonzero-column
+// index drawn from s when non-nil.
+func matmulFusedIn(s *Scratch, x, w *Tensor, bias []float64, relu bool) *Tensor {
 	// Contract only over columns that are nonzero somewhere in the batch.
 	// Feature matrices carry long structurally-zero column runs (padding
 	// tails, unused one-hot slots); those columns contribute an exact zero
 	// to every output element, so dropping them reproduces MatMul's
 	// per-term zero-skip at dense-kernel cost.
-	return matmulFusedNz(x, w, bias, relu, nonzeroCols(x))
+	return matmulFusedNz(s, x, w, bias, relu, nonzeroColsIn(s, x))
 }
 
 // matmulFusedDense is the kernel entry for activation matrices (post
@@ -55,21 +69,26 @@ func matmulFused(x, w *Tensor, bias []float64, relu bool) *Tensor {
 // bitwise-safe (finite weights), so the result is identical to
 // matmulFused on the same operands.
 func matmulFusedDense(x, w *Tensor, bias []float64, relu bool) *Tensor {
-	nz := make([]int, x.C)
+	return matmulFusedDenseIn(nil, x, w, bias, relu)
+}
+
+// matmulFusedDenseIn is matmulFusedDense over arena storage.
+func matmulFusedDenseIn(s *Scratch, x, w *Tensor, bias []float64, relu bool) *Tensor {
+	nz := scratchInts(s, x.C)
 	for k := range nz {
 		nz[k] = k
 	}
-	return matmulFusedNz(x, w, bias, relu, nz)
+	return matmulFusedNz(s, x, w, bias, relu, nz)
 }
 
-func matmulFusedNz(x, w *Tensor, bias []float64, relu bool, nz []int) *Tensor {
+func matmulFusedNz(s *Scratch, x, w *Tensor, bias []float64, relu bool, nz []int) *Tensor {
 	if x.C != w.R {
 		panic(fmt.Sprintf("nn: matmulFused %dx%d @ %dx%d", x.R, x.C, w.R, w.C))
 	}
 	engineGEMMCalls.Add(1)
 	engineGEMMRows.Add(uint64(x.R))
 	K, C := x.C, w.C
-	out := New(x.R, C)
+	out := newTensor(s, x.R, C)
 	i := 0
 	// Row pairs share each weight-row load and double the number of
 	// independent accumulator chains in flight.
@@ -170,7 +189,13 @@ func matmulFusedNz(x, w *Tensor, bias []float64, relu bool, nz []int) *Tensor {
 // through a correspondingly gathered weight panel (see FrozenLinear
 // ForwardRows) is bitwise identical to the full-width forward.
 func CompactRows(rows [][]float64, width int) (*Tensor, []int) {
-	used := make([]bool, width)
+	return CompactRowsIn(nil, rows, width)
+}
+
+// CompactRowsIn is CompactRows over arena storage; the returned tensor
+// and column index alias s and are valid until its next Reset.
+func CompactRowsIn(s *Scratch, rows [][]float64, width int) (*Tensor, []int) {
+	used := scratchInts(s, width)
 	cnt := 0
 	for _, r := range rows {
 		if len(r) != width {
@@ -180,15 +205,15 @@ func CompactRows(rows [][]float64, width int) (*Tensor, []int) {
 			break
 		}
 		for k, v := range r {
-			if v != 0 && !used[k] {
-				used[k] = true
+			if v != 0 && used[k] == 0 {
+				used[k] = 1
 				cnt++
 			}
 		}
 	}
-	cols := make([]int, 0, cnt)
+	cols := scratchInts(s, width)[:0]
 	for k, u := range used {
-		if u {
+		if u != 0 {
 			cols = append(cols, k)
 		}
 	}
@@ -196,7 +221,7 @@ func CompactRows(rows [][]float64, width int) (*Tensor, []int) {
 		// Degenerate all-zero batch: keep one column so shapes stay valid.
 		cols = append(cols, 0)
 	}
-	x := New(len(rows), len(cols))
+	x := newTensor(s, len(rows), len(cols))
 	for i, r := range rows {
 		dst := x.Data[i*len(cols) : (i+1)*len(cols)]
 		for n, k := range cols {
@@ -208,27 +233,27 @@ func CompactRows(rows [][]float64, width int) (*Tensor, []int) {
 
 // gatherWeightRows copies the weight rows selected by cols into one
 // contiguous panel matching a CompactRows input.
-func gatherWeightRows(w *Tensor, cols []int) *Tensor {
-	out := New(len(cols), w.C)
+func gatherWeightRows(s *Scratch, w *Tensor, cols []int) *Tensor {
+	out := newTensor(s, len(cols), w.C)
 	for n, k := range cols {
 		copy(out.Data[n*w.C:(n+1)*w.C], w.Data[k*w.C:(k+1)*w.C])
 	}
 	return out
 }
 
-// nonzeroCols returns the ascending indices of columns with at least one
-// nonzero entry. The scan stops early once every column is known used, so
-// dense activations pay a few rows of scanning while structurally sparse
-// feature batches are detected exactly.
-func nonzeroCols(x *Tensor) []int {
+// nonzeroColsIn returns the ascending indices of columns with at least
+// one nonzero entry. The scan stops early once every column is known
+// used, so dense activations pay a few rows of scanning while
+// structurally sparse feature batches are detected exactly.
+func nonzeroColsIn(s *Scratch, x *Tensor) []int {
 	K := x.C
-	used := make([]bool, K)
+	used := scratchInts(s, K)
 	cnt := 0
 	for i := 0; i < x.R && cnt < K; i++ {
 		row := x.Data[i*K : i*K+K]
 		for k, v := range row {
-			if v != 0 && !used[k] {
-				used[k] = true
+			if v != 0 && used[k] == 0 {
+				used[k] = 1
 				cnt++
 				if cnt == K {
 					break
@@ -236,9 +261,9 @@ func nonzeroCols(x *Tensor) []int {
 			}
 		}
 	}
-	nz := make([]int, 0, cnt)
+	nz := scratchInts(s, K)[:0]
 	for k, u := range used {
-		if u {
+		if u != 0 {
 			nz = append(nz, k)
 		}
 	}
@@ -273,7 +298,8 @@ func epilogue(oRow, bias []float64, relu bool) {
 // representative's results for a duplicate's is always bitwise safe.
 func DedupRows(rows [][]float64) (uniq [][]float64, idx []int) {
 	idx = make([]int, len(rows))
-	seen := make(map[string]int, len(rows))
+	uniq = make([][]float64, 0, len(rows))
+	seen := make(map[string]int, len(rows)) //pruner:allow hotalloc — the dedup hash is the point: one map per chunk buys back whole projection GEMMs over duplicate rows
 	var key []byte
 	for i, r := range rows {
 		key = key[:0]
@@ -316,6 +342,17 @@ func GatherRows(src *Tensor, idx []int) *Tensor {
 	return out
 }
 
+// gatherRowsIn is GatherRows for the no-tape path: same copies, no
+// backward, output on the arena. Inference inputs never carry gradients
+// (FreezeParams), so dropping the tape cannot change a value.
+func gatherRowsIn(s *Scratch, src *Tensor, idx []int) *Tensor {
+	out := newTensor(s, len(idx), src.C)
+	for i, j := range idx {
+		copy(out.Data[i*src.C:(i+1)*src.C], src.Data[j*src.C:(j+1)*src.C])
+	}
+	return out
+}
+
 // FrozenLinear is an inference view of a Linear layer: it aliases the
 // layer's current weights and drives them through the fused kernel. Build
 // it after FreezeParams and use it within one Predict call — it does not
@@ -341,18 +378,26 @@ func (l *FrozenLinear) ForwardReLU(x *Tensor) *Tensor {
 	return matmulFused(x, l.w, l.bias, true)
 }
 
-// forwardDense is Forward without the nonzero-column scan, for inputs
+// forwardDenseIn is Forward without the nonzero-column scan, for inputs
 // known to be dense activations.
-func (l *FrozenLinear) forwardDense(x *Tensor) *Tensor {
-	return matmulFusedDense(x, l.w, l.bias, false)
+func (l *FrozenLinear) forwardDenseIn(s *Scratch, x *Tensor) *Tensor {
+	return matmulFusedDenseIn(s, x, l.w, l.bias, false)
 }
 
 // ForwardRows runs the layer directly on feature rows: the input is
 // compacted at copy time (CompactRows) and contracted against the
 // matching weight panel — bitwise identical to Forward over FromRows.
 func (l *FrozenLinear) ForwardRows(rows [][]float64) *Tensor {
-	x, cols := CompactRows(rows, l.w.R)
-	return matmulFusedDense(x, gatherWeightRows(l.w, cols), l.bias, false)
+	return l.ForwardRowsIn(nil, rows)
+}
+
+// ForwardRowsIn is ForwardRows on the arena: zero heap allocations once
+// s is warm.
+//
+//pruner:hotpath
+func (l *FrozenLinear) ForwardRowsIn(s *Scratch, rows [][]float64) *Tensor {
+	x, cols := CompactRowsIn(s, rows, l.w.R)
+	return matmulFusedDenseIn(s, x, gatherWeightRows(s, l.w, cols), l.bias, false)
 }
 
 // FrozenMLP is an inference view of an MLP.
@@ -373,12 +418,20 @@ func (m *MLP) Freeze() *FrozenMLP {
 // The first layer sees raw feature rows and scans for structurally-zero
 // columns; deeper layers see dense activations and skip the scan.
 func (m *FrozenMLP) Forward(x *Tensor) *Tensor {
+	return m.ForwardIn(nil, x)
+}
+
+// ForwardIn is Forward on the arena: zero heap allocations once s is
+// warm.
+//
+//pruner:hotpath
+func (m *FrozenMLP) ForwardIn(s *Scratch, x *Tensor) *Tensor {
 	for i, l := range m.layers {
 		relu := i+1 < len(m.layers)
 		if i == 0 {
-			x = matmulFused(x, l.w, l.bias, relu)
+			x = matmulFusedIn(s, x, l.w, l.bias, relu)
 		} else {
-			x = matmulFusedDense(x, l.w, l.bias, relu)
+			x = matmulFusedDenseIn(s, x, l.w, l.bias, relu)
 		}
 	}
 	return x
@@ -400,11 +453,19 @@ func (m *FrozenMLP) ForwardReLU(x *Tensor) *Tensor {
 // ForwardReLURows is ForwardReLU fed directly from feature rows, with the
 // first layer contracted over the compacted columns (see ForwardRows).
 func (m *FrozenMLP) ForwardReLURows(rows [][]float64) *Tensor {
+	return m.ForwardReLURowsIn(nil, rows)
+}
+
+// ForwardReLURowsIn is ForwardReLURows on the arena: zero heap
+// allocations once s is warm.
+//
+//pruner:hotpath
+func (m *FrozenMLP) ForwardReLURowsIn(s *Scratch, rows [][]float64) *Tensor {
 	l0 := m.layers[0]
-	x, cols := CompactRows(rows, l0.w.R)
-	x = matmulFusedDense(x, gatherWeightRows(l0.w, cols), l0.bias, true)
+	x, cols := CompactRowsIn(s, rows, l0.w.R)
+	x = matmulFusedDenseIn(s, x, gatherWeightRows(s, l0.w, cols), l0.bias, true)
 	for _, l := range m.layers[1:] {
-		x = matmulFusedDense(x, l.w, l.bias, true)
+		x = matmulFusedDenseIn(s, x, l.w, l.bias, true)
 	}
 	return x
 }
@@ -437,7 +498,15 @@ func (a *SelfAttention) Freeze() *FrozenAttention {
 // segment-local. Each segment's output is bitwise identical to
 // SelfAttention.Forward over that segment alone.
 func (a *FrozenAttention) ForwardSegments(x *Tensor, lens []int) *Tensor {
-	return a.forwardFrom(x, a.q.forwardDense(x), a.k.forwardDense(x), a.v.forwardDense(x), lens)
+	return a.ForwardSegmentsIn(nil, x, lens)
+}
+
+// ForwardSegmentsIn is ForwardSegments on the arena: zero heap
+// allocations once s is warm.
+//
+//pruner:hotpath
+func (a *FrozenAttention) ForwardSegmentsIn(s *Scratch, x *Tensor, lens []int) *Tensor {
+	return a.forwardFrom(s, x, a.q.forwardDenseIn(s, x), a.k.forwardDenseIn(s, x), a.v.forwardDenseIn(s, x), lens)
 }
 
 // ForwardSegmentsDedup is ForwardSegments over a token sequence given in
@@ -449,14 +518,23 @@ func (a *FrozenAttention) ForwardSegments(x *Tensor, lens []int) *Tensor {
 // row-wise, so projecting a representative and copying is bitwise
 // identical to projecting every duplicate.
 func (a *FrozenAttention) ForwardSegmentsDedup(uniq *Tensor, idx []int, lens []int) *Tensor {
-	qu := a.q.forwardDense(uniq)
-	ku := a.k.forwardDense(uniq)
-	vu := a.v.forwardDense(uniq)
+	return a.ForwardSegmentsDedupIn(nil, uniq, idx, lens)
+}
+
+// ForwardSegmentsDedupIn is ForwardSegmentsDedup on the arena: zero heap
+// allocations once s is warm.
+//
+//pruner:hotpath
+func (a *FrozenAttention) ForwardSegmentsDedupIn(s *Scratch, uniq *Tensor, idx []int, lens []int) *Tensor {
+	qu := a.q.forwardDenseIn(s, uniq)
+	ku := a.k.forwardDenseIn(s, uniq)
+	vu := a.v.forwardDenseIn(s, uniq)
 	return a.forwardFrom(
-		GatherRows(uniq, idx),
-		GatherRows(qu, idx),
-		GatherRows(ku, idx),
-		GatherRows(vu, idx),
+		s,
+		gatherRowsIn(s, uniq, idx),
+		gatherRowsIn(s, qu, idx),
+		gatherRowsIn(s, ku, idx),
+		gatherRowsIn(s, vu, idx),
 		lens,
 	)
 }
@@ -466,12 +544,16 @@ func (a *FrozenAttention) ForwardSegmentsDedup(uniq *Tensor, idx []int, lens []i
 // segment — no per-segment tensors — with each value accumulated in the
 // same order as the operator chain it replaces
 // (SoftmaxRows(Scale(MatMul(qs, ksᵀ))) @ vs).
-func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
+func (a *FrozenAttention) forwardFrom(s *Scratch, x, q, k, v *Tensor, lens []int) *Tensor {
 	engineAttnSegments.Add(uint64(len(lens)))
 	C := x.C
-	ctx := New(x.R, C)
+	ctx := newTensor(s, x.R, C)
 	scale := 1 / math.Sqrt(float64(a.dim))
-	var scratch []float64
+	maxN := 0
+	for _, n := range lens {
+		maxN = max(maxN, n)
+	}
+	scratch := scratchFloats(s, 2*maxN)
 	// softmaxRow replicates SoftmaxRows' operation order on one scratch
 	// row in place.
 	softmaxRow := func(row []float64) {
@@ -491,10 +573,7 @@ func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
 	}
 	off := 0
 	for _, n := range lens {
-		if len(scratch) < 2*n {
-			scratch = make([]float64, 2*n)
-		}
-		row0, row1 := scratch[:n], scratch[n:2*n]
+		row0, row1 := scratch[:n], scratch[maxN:maxN+n]
 		// Query rows go in pairs sharing each key/value row load.
 		r := off
 		for ; r+2 <= off+n; r += 2 {
@@ -533,11 +612,11 @@ func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
 			qRow := q.Data[r*C : r*C+C]
 			for jj := 0; jj < n; jj++ {
 				kRow := k.Data[(off+jj)*C : (off+jj)*C+C]
-				var s float64
+				var sc float64
 				for kk, kv := range kRow {
-					s += qRow[kk] * kv
+					sc += qRow[kk] * kv
 				}
-				row0[jj] = s * scale
+				row0[jj] = sc * scale
 			}
 			softmaxRow(row0)
 			cRow := ctx.Data[r*C : r*C+C]
@@ -553,5 +632,113 @@ func (a *FrozenAttention) forwardFrom(x, q, k, v *Tensor, lens []int) *Tensor {
 	if off != x.R {
 		panic(fmt.Sprintf("nn: ForwardSegments lengths sum to %d, tensor has %d rows", off, x.R))
 	}
-	return LayerNormRows(Add(x, a.o.forwardDense(ctx)), a.normG, a.normB)
+	return addLayerNormRowsIn(s, x, a.o.forwardDenseIn(s, ctx), a.normG, a.normB)
+}
+
+// addLayerNormRowsIn computes LayerNormRows(Add(x, y), g, b) without the
+// tape: the elementwise sum materialises in ascending index order (Add's
+// order) and each row then normalises exactly as LayerNormRows'
+// inference branch does, so the result is bitwise identical to the
+// operator composition it replaces.
+func addLayerNormRowsIn(s *Scratch, x, y, g, b *Tensor) *Tensor {
+	shapeCheck("add", x, y)
+	const eps = 1e-5
+	if g.R != 1 || g.C != x.C || b.R != 1 || b.C != x.C {
+		panic("nn: layernorm parameter shape mismatch")
+	}
+	sum := newTensor(s, x.R, x.C)
+	for i := range sum.Data {
+		sum.Data[i] = x.Data[i] + y.Data[i]
+	}
+	n := float64(x.C)
+	out := newTensor(s, x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		var mu float64
+		for j := 0; j < x.C; j++ {
+			mu += sum.Data[i*x.C+j]
+		}
+		mu /= n
+		var va float64
+		for j := 0; j < x.C; j++ {
+			d := sum.Data[i*x.C+j] - mu
+			va += d * d
+		}
+		va /= n
+		inv := 1 / math.Sqrt(va+eps)
+		for j := 0; j < x.C; j++ {
+			idx := i*x.C + j
+			nv := (sum.Data[idx] - mu) * inv
+			out.Data[idx] = nv*g.Data[j] + b.Data[j]
+		}
+	}
+	return out
+}
+
+// SegmentSumRowsIn is SegmentSumRows for the no-tape path: rows
+// accumulate in the identical order (so results are bitwise identical),
+// the backward is dropped, and the output lives on the arena.
+//
+//pruner:hotpath
+func SegmentSumRowsIn(s *Scratch, x *Tensor, lens []int) *Tensor {
+	total := 0
+	for sg, n := range lens {
+		if n <= 0 {
+			panic(fmt.Sprintf("nn: SegmentSumRows segment %d has length %d", sg, n))
+		}
+		total += n
+	}
+	if total != x.R {
+		panic(fmt.Sprintf("nn: SegmentSumRows lengths sum to %d, tensor has %d rows", total, x.R))
+	}
+	out := newTensor(s, len(lens), x.C)
+	row := 0
+	for sg, n := range lens {
+		oRow := out.Data[sg*x.C : (sg+1)*x.C]
+		for r := 0; r < n; r++ {
+			xRow := x.Data[row*x.C : (row+1)*x.C]
+			for j, v := range xRow {
+				oRow[j] += v
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// SegmentMeanRowsIn is SegmentMeanRows for the no-tape path (see
+// SegmentSumRowsIn): sum in row order, then one multiply by the
+// reciprocal length — bitwise identical to the tape operator.
+func SegmentMeanRowsIn(s *Scratch, x *Tensor, lens []int) *Tensor {
+	sum := SegmentSumRowsIn(s, x, lens)
+	out := newTensor(s, sum.R, sum.C)
+	for sg, n := range lens {
+		inv := 1 / float64(n)
+		for j := 0; j < sum.C; j++ {
+			out.Data[sg*sum.C+j] = sum.Data[sg*sum.C+j] * inv
+		}
+	}
+	return out
+}
+
+// TanhIn is Tanh for the no-tape path, on the arena.
+func TanhIn(s *Scratch, x *Tensor) *Tensor {
+	out := newTensor(s, x.R, x.C)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	return out
+}
+
+// ConcatColsIn is ConcatCols for the no-tape path, on the arena.
+func ConcatColsIn(s *Scratch, a, b *Tensor) *Tensor {
+	if a.R != b.R {
+		panic(fmt.Sprintf("nn: concat rows %d vs %d", a.R, b.R))
+	}
+	cols := a.C + b.C
+	out := newTensor(s, a.R, cols)
+	for i := 0; i < a.R; i++ {
+		copy(out.Data[i*cols:i*cols+a.C], a.Data[i*a.C:(i+1)*a.C])
+		copy(out.Data[i*cols+a.C:(i+1)*cols], b.Data[i*b.C:(i+1)*b.C])
+	}
+	return out
 }

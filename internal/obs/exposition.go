@@ -42,8 +42,8 @@ func ValidateText(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 
-	types := map[string]string{}     // family -> kind
-	helped := map[string]bool{}      // family -> saw # HELP
+	types := map[string]string{} // family -> kind
+	helped := map[string]bool{}  // family -> saw # HELP
 	samples := 0
 	hists := map[string]*histChild{} // family \xff labelkey -> state
 

@@ -115,17 +115,17 @@ func TestWriteTextIsValidAndDeterministic(t *testing.T) {
 
 func TestValidateTextRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"empty":             "",
-		"no type":           "pruner_x_total 3\n",
-		"bad name":          "# TYPE 9bad counter\n9bad 3\n",
-		"bad value":         "# TYPE pruner_x_total counter\npruner_x_total zebra\n",
-		"negative counter":  "# TYPE pruner_x_total counter\npruner_x_total -1\n",
-		"unterminated":      "# TYPE pruner_x gauge\npruner_x{a=\"b 3\n",
-		"missing inf":       "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 1\npruner_h_sum 1\npruner_h_count 1\n",
-		"non-cumulative":    "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 5\npruner_h_bucket{le=\"2\"} 3\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 5\n",
-		"count != inf":      "# TYPE pruner_h histogram\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 4\n",
-		"dup label":         "# TYPE pruner_x gauge\npruner_x{a=\"b\",a=\"c\"} 3\n",
-		"unknown type":      "# TYPE pruner_x rainbow\npruner_x 3\n",
+		"empty":            "",
+		"no type":          "pruner_x_total 3\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 3\n",
+		"bad value":        "# TYPE pruner_x_total counter\npruner_x_total zebra\n",
+		"negative counter": "# TYPE pruner_x_total counter\npruner_x_total -1\n",
+		"unterminated":     "# TYPE pruner_x gauge\npruner_x{a=\"b 3\n",
+		"missing inf":      "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 1\npruner_h_sum 1\npruner_h_count 1\n",
+		"non-cumulative":   "# TYPE pruner_h histogram\npruner_h_bucket{le=\"1\"} 5\npruner_h_bucket{le=\"2\"} 3\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 5\n",
+		"count != inf":     "# TYPE pruner_h histogram\npruner_h_bucket{le=\"+Inf\"} 5\npruner_h_sum 1\npruner_h_count 4\n",
+		"dup label":        "# TYPE pruner_x gauge\npruner_x{a=\"b\",a=\"c\"} 3\n",
+		"unknown type":     "# TYPE pruner_x rainbow\npruner_x 3\n",
 	}
 	for name, in := range cases {
 		if err := ValidateText(strings.NewReader(in)); err == nil {

@@ -128,7 +128,7 @@ const NumFeatureSlots = 3
 // the winning computation is shared and compute runs at most once per
 // slot. compute must be a pure function of the lowered program.
 func (lw *Lowered) FeatureRows(slot int, compute func(*Lowered) [][]float64) [][]float64 {
-	lw.featOnce[slot].Do(func() { lw.feat[slot] = compute(lw) })
+	lw.featOnce[slot].Do(func() { lw.feat[slot] = compute(lw) }) //pruner:allow hotalloc — one closure per (lowered, slot) miss; round-memoed Lowereds make steady-state calls cache hits that never reach Do's slow path
 	return lw.feat[slot]
 }
 

@@ -85,12 +85,12 @@ func (s *Server) initObs() {
 // daemon's registry (server, store, tuner, cost-model and fleet families).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.cfg.Obs.Reg().WriteText(w)
+	_ = s.cfg.Obs.Reg().WriteText(w) // scrape write failure is the scraper's problem
 }
 
 // handleTrace is GET /v1/trace: the observer's span ring buffer as JSON,
 // newest spans retained (plan/measure/commit and cost-model fit/predict).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.cfg.Obs.Sink().WriteJSON(w)
+	_ = s.cfg.Obs.Sink().WriteJSON(w) // trace dump is diagnostic; a short read hurts nobody
 }

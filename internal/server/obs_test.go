@@ -61,13 +61,13 @@ func TestMetricsEndpointScrape(t *testing.T) {
 
 	text := scrapeMetrics(t, ts.URL)
 	for _, family := range []string{
-		MetricQueueDepth,           // server: queue occupancy gauge
-		MetricQueueWaitSeconds,     // server: queue wait histogram
-		MetricJobs,                 // server: per-state job gauge
-		MetricRoundSeconds,         // server: per-round wall latency
-		MetricMeasurersRegistered,  // server: fleet registry size
-		store.MetricRecords,        // store: live occupancy
-		store.MetricAppends,        // store: append counter moved by the job
+		MetricQueueDepth,               // server: queue occupancy gauge
+		MetricQueueWaitSeconds,         // server: queue wait histogram
+		MetricJobs,                     // server: per-state job gauge
+		MetricRoundSeconds,             // server: per-round wall latency
+		MetricMeasurersRegistered,      // server: fleet registry size
+		store.MetricRecords,            // store: live occupancy
+		store.MetricAppends,            // store: append counter moved by the job
 		"pruner_tuner_stage_seconds",   // engine: per-stage latency (plan|measure|commit)
 		"pruner_tuner_rounds_total",    // engine: committed rounds
 		"pruner_costmodel_fit_seconds", // cost model: online training latency

@@ -145,13 +145,15 @@ type Server struct {
 	obs serverObs
 }
 
-// New starts the worker goroutines and returns the server.
-func New(cfg Config) (*Server, error) {
+// New starts the worker goroutines and returns the server. The parent
+// context bounds the daemon's lifetime: cancelling it stops the workers
+// (Close still performs the orderly drain).
+func New(parent context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("server: Config.Store is required")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	s := &Server{
 		cfg:       cfg,
 		ctx:       ctx,
@@ -229,7 +231,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	_ = enc.Encode(v) // response write failure is the client's problem
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -469,7 +471,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	spec := JobSpec{Device: q.Get("device"), Network: q.Get("network")}
-	fmt.Sscanf(q.Get("max_tasks"), "%d", &spec.MaxTasks)
+	_, _ = fmt.Sscanf(q.Get("max_tasks"), "%d", &spec.MaxTasks) // unparsable means 0 = no cap
 	_, _, tasks, err := s.resolve(&spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -24,7 +24,7 @@ func testServer(t *testing.T, dir string) (*Server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv, err := New(Config{
+	srv, err := New(context.Background(), Config{
 		Store:      st,
 		Pool:       pruner.NewPool(2),
 		Workers:    2,
@@ -323,7 +323,7 @@ func TestServerCancelQueuedJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv, err := New(Config{Store: st, Pool: pruner.NewPool(1), Workers: 1, QueueDepth: 8})
+	srv, err := New(context.Background(), Config{Store: st, Pool: pruner.NewPool(1), Workers: 1, QueueDepth: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +429,7 @@ func TestPretrainedMethodGating(t *testing.T) {
 	}
 
 	// A matching bundle makes the method servable.
-	ds, err := pruner.GenerateDataset(pruner.T4, []string{"dcgan"}, 30, 5)
+	ds, err := pruner.GenerateDataset(context.Background(), pruner.T4, []string{"dcgan"}, 30, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,7 +442,7 @@ func TestPretrainedMethodGating(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv, err := New(Config{
+	srv, err := New(context.Background(), Config{
 		Store:      st,
 		Pool:       pruner.NewPool(2),
 		Workers:    1,

@@ -452,7 +452,7 @@ func (n *natureNet) eval(x []float64) float64 {
 
 func hash64(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // hash.Hash.Write never fails
 	return h.Sum64()
 }
 

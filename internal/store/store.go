@@ -153,7 +153,7 @@ func (s *Store) loadShard(device string) (*shard, error) {
 		}
 		if i == len(names)-1 {
 			var seq int
-			fmt.Sscanf(filepath.Base(name), "seg-%06d.jsonl", &seq)
+			_, _ = fmt.Sscanf(filepath.Base(name), "seg-%06d.jsonl", &seq) // names are listSegments-filtered
 			sh.seq = seq
 			sh.size = int64(valid)
 		}
@@ -219,7 +219,7 @@ func (sh *shard) openSegment() error {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // already failing; Stat's error wins
 		return fmt.Errorf("store: %w", err)
 	}
 	sh.file = f
@@ -285,7 +285,7 @@ func (s *Store) Append(device string, recs []costmodel.Record) error {
 		}
 	}
 	if sh.size > 0 && sh.size+int64(len(payload)) > s.opts.MaxSegmentBytes {
-		sh.file.Close()
+		_ = sh.file.Close() // O_APPEND writes are unbuffered; the data already hit the kernel
 		sh.file = nil
 		sh.seq++
 		if err := sh.openSegment(); err != nil {
@@ -299,7 +299,7 @@ func (s *Store) Append(device string, recs []costmodel.Record) error {
 		// tolerates a torn final line per segment — and let the next
 		// append start a fresh one, keeping the garbage in final (i.e.
 		// recoverable) position forever.
-		sh.file.Close()
+		_ = sh.file.Close() // sealing a torn segment; the write error wins
 		sh.file = nil
 		sh.seq++
 		return fmt.Errorf("store: %w", err)

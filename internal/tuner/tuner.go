@@ -474,7 +474,7 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	// plan(r), commit(r), plan(r+1): exactly the historical serial loop.
 	ctx := opt.Ctx
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //pruner:allow ctxflow — documented nil-Ctx default (Options.Ctx); the session then runs to completion
 	}
 	minfo := opt.Measurer.Info()
 	// mctx aborts in-flight batches the moment the session stops —

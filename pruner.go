@@ -414,12 +414,12 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 
 // GenerateDataset builds a TenSet-style dataset for the named networks on
 // a device.
-func GenerateDataset(dev *Device, networks []string, schedulesPerTask int, seed int64) (*Dataset, error) {
+func GenerateDataset(ctx context.Context, dev *Device, networks []string, schedulesPerTask int, seed int64) (*Dataset, error) {
 	tasks, err := dataset.NetworksTasks(networks)
 	if err != nil {
 		return nil, err
 	}
-	return dataset.Generate(dev, tasks, dataset.GenOptions{
+	return dataset.Generate(ctx, dev, tasks, dataset.GenOptions{
 		SchedulesPerTask: schedulesPerTask,
 		Seed:             seed,
 	}), nil
