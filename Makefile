@@ -1,14 +1,15 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same
 # targets. The repo is stdlib-only — no dependencies to fetch; even the
-# eight determinism/concurrency contract analyzers (`make lint`,
+# twelve determinism/concurrency/wire contract analyzers (`make lint`,
 # cmd/pruner-vet) are built on go/ast + go/types alone, including the
 # whole-module call-graph generation (ctxflow, lockheld, hotalloc,
-# errdrop) and its measured zero-allocation hot-path gate (the TestAlloc*
-# AllocsPerRun tests run by bench-smoke).
+# errdrop), the def-use dataflow generation (clocktaint, lockorder,
+# wireshape) and its measured zero-allocation hot-path gate (the
+# TestAlloc* AllocsPerRun tests run by bench-smoke).
 
 GO ?= go
 
-.PHONY: all build vet lint test race serve serve-e2e measure-e2e profile bench bench-smoke bench-parallel fuzz-smoke clean
+.PHONY: all build vet lint lint-cover wire-check wire-lock test race serve serve-e2e measure-e2e profile bench bench-smoke bench-parallel fuzz-smoke clean
 
 all: vet lint build test
 
@@ -18,16 +19,41 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The determinism & concurrency contract: pruner-vet runs all eight
-# internal/lint analyzers — the per-package generation (globalrand,
-# maprange, rawgo, walltime) and the call-graph generation (ctxflow,
-# errdrop, hotalloc, lockheld) — over the whole module and fails on any
-# diagnostic, malformed directive, or unused //pruner:allow suppression.
-# See DESIGN.md §10 and §12; `pruner-vet -json` emits the same
-# diagnostics (suppressed included) machine-readably.
+# The determinism, concurrency & wire contract: pruner-vet runs all
+# twelve internal/lint analyzers — the per-package generation (exhaust,
+# globalrand, maprange, rawgo, walltime), the call-graph generation
+# (ctxflow, errdrop, hotalloc, lockheld) and the def-use dataflow
+# generation (clocktaint, lockorder, wireshape) — over the whole module
+# and fails on any diagnostic, malformed directive, or unused
+# //pruner:allow suppression. See DESIGN.md §10, §12 and §13;
+# `pruner-vet -json` emits the same diagnostics (suppressed included)
+# machine-readably.
 lint:
 	$(GO) build ./cmd/pruner-vet ./internal/lint
 	$(GO) run ./cmd/pruner-vet ./...
+
+# The wire contract alone: fails on any schema drift between the live
+# encoder-reachable types and the checked-in wire.lock. Breaking drift
+# (removed/renamed fields, wire-name or type changes) must be landed
+# deliberately via `make wire-lock`; additive drift is a notice until
+# the lock is regenerated. See API.md "Wire compatibility".
+wire-check:
+	$(GO) run ./cmd/pruner-vet -checks wireshape ./...
+
+# Regenerate wire.lock from the live wire schema after a reviewed
+# schema change.
+wire-lock:
+	$(GO) run ./cmd/pruner-vet -write-wire ./...
+
+# Coverage gate for the analyzers themselves: internal/lint must keep
+# total statement coverage at or above the floor, so new analyzers land
+# with fixtures instead of silently untested paths.
+LINT_COVER_FLOOR := 80
+lint-cover:
+	$(GO) test -coverprofile=lint.cover ./internal/lint
+	@$(GO) tool cover -func=lint.cover | awk -v floor=$(LINT_COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); if ($$3+0 < floor) { printf "internal/lint coverage %.1f%% is below the %d%% floor\n", $$3, floor; exit 1 } \
+		else printf "internal/lint coverage %.1f%% (floor %d%%)\n", $$3, floor }'
 
 test:
 	$(GO) test ./...
@@ -86,13 +112,16 @@ bench-parallel:
 	$(GO) test -bench=BenchmarkTuneParallel -benchtime=1x .
 
 # Short fuzz pass over the record codec (the store's segment format and
-# the fleet's wire format) and the store's torn-tail segment replay.
-# The seed corpora also run as plain tests under `make test`.
+# the fleet's wire format), the store's torn-tail segment replay, and
+# the hand-editable wire.lock parser. The seed corpora also run as
+# plain tests under `make test`.
 fuzz-smoke:
 	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime 10s
 	$(GO) test ./internal/measure -run '^$$' -fuzz '^FuzzReadRecords$$' -fuzztime 10s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSegmentIndexTornTail$$' -fuzztime 10s
+	$(GO) test ./internal/lint -run '^$$' -fuzz '^FuzzWireLockParse$$' -fuzztime 10s
 
 clean:
 	$(GO) clean
 	rm -rf .cache
+	rm -f lint.cover

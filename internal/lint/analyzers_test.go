@@ -1,6 +1,11 @@
 package lint
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestGlobalRandFixture(t *testing.T) {
 	runFixture(t, GlobalRand, "fixture/globalrand", "globalrand")
@@ -72,5 +77,87 @@ func TestErrDropScopedToInternal(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("unexpected diagnostic outside internal/: %s", d)
+	}
+}
+
+func TestExhaustFixture(t *testing.T) {
+	runFixture(t, Exhaust, "fixture/exhaust", "exhaust")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runModuleFixture(t, LockOrder, "fixture/lockorder", "lockorder")
+}
+
+// The clocktaint fixture carries the package name "tuner" so its sink
+// types match the suffix table the real module runs under.
+func TestClockTaintFixture(t *testing.T) {
+	runModuleFixtureOpts(t, ClockTaint, "fixture/clocktaint/tuner", "clocktaint/tuner", RunOptions{})
+}
+
+// TestWireShapeClean pins the extraction path end to end: the fixture's
+// live schema must match its checked-in lock exactly — no findings, no
+// notices.
+func TestWireShapeClean(t *testing.T) {
+	runModuleFixtureOpts(t, WireShape, "fixture/wireshape/clean", "wireshape/clean",
+		RunOptions{WireLock: filepath.Join("testdata", "wirelock", "clean.lock")})
+}
+
+// TestWireShapeDrift pins every drift class against the deliberately
+// stale drift.lock: renamed wire name, changed type, removed field
+// (breaking) and an unrecorded live field (additive notice).
+func TestWireShapeDrift(t *testing.T) {
+	runModuleFixtureOpts(t, WireShape, "fixture/wireshape/drift", "wireshape/drift",
+		RunOptions{WireLock: filepath.Join("testdata", "wirelock", "drift.lock")})
+}
+
+// TestWireShapeWrite regenerates the clean fixture's lock into a temp
+// file and requires byte equality with the checked-in golden — the
+// write path and Format stability in one assertion.
+func TestWireShapeWrite(t *testing.T) {
+	pkg := loadFixture(t, "fixture/wireshape/clean", "wireshape/clean")
+	out := filepath.Join(t.TempDir(), "wire.lock")
+	_, err := runModuleAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{WireShape},
+		RunOptions{WireLock: out, WriteWire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "wirelock", "clean.lock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("regenerated lock differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// The write is a fixed point of parse∘format.
+	parsed, err := ParseWireLock(got)
+	if err != nil {
+		t.Fatalf("regenerated lock does not parse: %v", err)
+	}
+	if string(FormatWireLock(parsed)) != string(got) {
+		t.Error("format(parse(lock)) is not a fixed point")
+	}
+}
+
+// TestWireShapeMissingLock pins the unlocked-tree behavior: a missing
+// lock file is itself a (non-notice) finding naming the regeneration
+// path, anchored at the lock path.
+func TestWireShapeMissingLock(t *testing.T) {
+	pkg := loadFixture(t, "fixture/wireshape/clean", "wireshape/clean")
+	missing := filepath.Join(t.TempDir(), "wire.lock")
+	diags, err := runModuleAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{WireShape},
+		RunOptions{WireLock: missing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Notice || d.Pos.Filename != missing || !strings.Contains(d.Message, "-write-wire") {
+		t.Errorf("unexpected missing-lock diagnostic: %+v", d)
 	}
 }

@@ -25,8 +25,9 @@ var fixtureFset = token.NewFileSet()
 // packages fixtures use, shared by all fixture tests.
 var stdImporter = sync.OnceValues(func() (types.Importer, error) {
 	pkgs, err := goList([]string{
-		"bytes", "context", "errors", "fmt", "math/rand", "math/rand/v2",
-		"net/http", "os", "slices", "sort", "strings", "sync", "time",
+		"bytes", "context", "encoding/gob", "encoding/json", "errors",
+		"fmt", "io", "math/rand", "math/rand/v2", "net/http", "os",
+		"slices", "sort", "strings", "sync", "time",
 	})
 	if err != nil {
 		return nil, err
@@ -84,8 +85,15 @@ func runFixture(t *testing.T, a *Analyzer, importPath, rel string) {
 // call-graph analyzer over it, and diffs against the want comments.
 func runModuleFixture(t *testing.T, a *Analyzer, importPath, rel string) {
 	t.Helper()
+	runModuleFixtureOpts(t, a, importPath, rel, RunOptions{})
+}
+
+// runModuleFixtureOpts is runModuleFixture with driver options (the
+// wireshape fixtures pin their lock-file path through these).
+func runModuleFixtureOpts(t *testing.T, a *Analyzer, importPath, rel string, opts RunOptions) {
+	t.Helper()
 	pkg := loadFixture(t, importPath, rel)
-	diags, err := runModuleAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{a})
+	diags, err := runModuleAnalyzers([]*LoadedPackage{pkg}, []*Analyzer{a}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,17 +11,24 @@
 // moment new concurrent code (sharded control plane, fleet remediation,
 // speculative re-dispatch) breaks one.
 //
-// The suite has two generations. The per-package syntactic checks —
-// globalrand, maprange, rawgo, walltime — inspect one package's typed
-// AST at a time. The call-graph generation — ctxflow, errdrop, hotalloc,
-// lockheld — builds a whole-module static call graph (CallGraph) and
-// checks cross-function contracts over it: context must flow to
-// everything that can block, mutexes must not be held across blocking
-// calls or calls into caller-supplied code, functions reachable from a
-// //pruner:hotpath root must contain no heap-allocating constructs
-// (cross-checked dynamically by the TestAlloc* AllocsPerRun gates), and
-// internal packages must not silently drop error returns. See DESIGN.md
-// §10 and §12.
+// The suite has three generations. The per-package syntactic checks —
+// exhaust, globalrand, maprange, rawgo, walltime — inspect one
+// package's typed AST at a time. The call-graph generation — ctxflow,
+// errdrop, hotalloc, lockheld — builds a whole-module static call graph
+// (CallGraph) and checks cross-function contracts over it: context must
+// flow to everything that can block, mutexes must not be held across
+// blocking calls or calls into caller-supplied code, functions
+// reachable from a //pruner:hotpath root must contain no
+// heap-allocating constructs (cross-checked dynamically by the
+// TestAlloc* AllocsPerRun gates), and internal packages must not
+// silently drop error returns. The dataflow generation — clocktaint,
+// lockorder, wireshape — adds intraprocedural def-use chains composed
+// interprocedurally via per-function summaries on that call graph
+// (dataflow.go): clock readings must not taint results, records, or
+// fingerprinted values; mutex acquisitions must admit one global order;
+// and every type reaching a json/gob encoder must match the checked-in
+// wire.lock golden, regenerated deliberately with -write-wire. See
+// DESIGN.md §10, §12 and §13.
 //
 // The framework is deliberately dependency-free: packages are discovered
 // with `go list -deps -export -json`, parsed with go/parser, and
@@ -86,6 +93,12 @@ type ModulePass struct {
 	Pkgs     []*LoadedPackage
 	Graph    *CallGraph
 
+	// WireLock is the path of the wireshape golden ("" resolves next to
+	// go.mod); WriteWire switches wireshape from checking to
+	// regenerating it.
+	WireLock  string
+	WriteWire bool
+
 	report func(Diagnostic)
 }
 
@@ -95,6 +108,18 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAt records a diagnostic at an already-resolved position (which
+// may name a non-Go file, e.g. wire.lock itself). notice marks additive
+// findings that inform but do not fail the run.
+func (p *ModulePass) reportAt(pos token.Position, notice bool, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Notice:   notice,
 	})
 }
 
@@ -108,6 +133,9 @@ type Diagnostic struct {
 	Message    string
 	Suppressed bool
 	Reason     string
+	// Notice marks additive, non-failing findings (wireshape's "new
+	// wire field recorded nowhere yet"): printed, never counted.
+	Notice bool
 }
 
 func (d Diagnostic) String() string {
@@ -115,9 +143,13 @@ func (d Diagnostic) String() string {
 }
 
 // All returns the full analyzer suite in stable order: the PR 6
-// single-package generation plus the call-graph contract analyzers.
+// single-package generation, the PR 8 call-graph generation, and the
+// dataflow generation (clocktaint, exhaust, lockorder, wireshape).
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, ErrDrop, GlobalRand, HotAlloc, LockHeld, MapRange, RawGo, WallTime}
+	return []*Analyzer{
+		ClockTaint, CtxFlow, ErrDrop, Exhaust, GlobalRand, HotAlloc,
+		LockHeld, LockOrder, MapRange, RawGo, WallTime, WireShape,
+	}
 }
 
 // byName resolves the suite into a lookup table for directive validation.
@@ -155,7 +187,7 @@ func runAnalyzers(pkg *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, erro
 
 // runModuleAnalyzers builds the call graph once and applies every
 // whole-module analyzer over the full loaded package set.
-func runModuleAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+func runModuleAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
 	var moduleAnalyzers []*Analyzer
 	for _, a := range analyzers {
 		if a.RunModule != nil {
@@ -169,11 +201,13 @@ func runModuleAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnos
 	var diags []Diagnostic
 	for _, a := range moduleAnalyzers {
 		pass := &ModulePass{
-			Analyzer: a,
-			Fset:     pkgs[0].Fset,
-			Pkgs:     pkgs,
-			Graph:    graph,
-			report:   func(d Diagnostic) { diags = append(diags, d) },
+			Analyzer:  a,
+			Fset:      pkgs[0].Fset,
+			Pkgs:      pkgs,
+			Graph:     graph,
+			WireLock:  opts.WireLock,
+			WriteWire: opts.WriteWire,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.RunModule(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)

@@ -92,6 +92,10 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 				}
 				pass.Reportf(n.Pos(),
 					"calls %s in map-iteration order; range over sorted keys instead (see methodsSorted)", name)
+			case callStatic, callOther:
+				// Compile-time-resolved calls, conversions, and other
+				// builtins are order-independent at this level; what
+				// they mutate is caught by the cases above.
 			}
 		}
 		return true

@@ -18,11 +18,24 @@ func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return kept, nil
 }
 
+// RunOptions carries the driver knobs that only some analyzers read:
+// the wireshape golden's path (for fixtures; "" resolves next to
+// go.mod) and its regeneration mode (pruner-vet -write-wire).
+type RunOptions struct {
+	WireLock  string
+	WriteWire bool
+}
+
 // RunAll is Run without the suppression filter: waived diagnostics are
 // returned too, marked Suppressed with the directive's reason, so the
 // -json driver output can show CI and editors the complete picture.
 // Exit-code decisions should still key on the unsuppressed findings.
 func RunAll(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAllOpts(patterns, analyzers, RunOptions{})
+}
+
+// RunAllOpts is RunAll with explicit driver options.
+func RunAllOpts(patterns []string, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		return nil, err
@@ -56,7 +69,7 @@ func RunAll(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		bad = append(bad, b...)
 	}
-	md, err := runModuleAnalyzers(pkgs, analyzers)
+	md, err := runModuleAnalyzers(pkgs, analyzers, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,98 @@
+// Fixture for the clocktaint analyzer. The package is named tuner on
+// purpose: sink types are matched by their "pkg.Type" suffix, so
+// fixture/clocktaint/tuner.Result exercises the same table the real
+// module runs under.
+package tuner
+
+import "time"
+
+// Result stands in for the fingerprinted result types.
+type Result struct {
+	FinalLatency float64
+	Elapsed      float64
+}
+
+// CurvePoint stands in for convergence-curve samples.
+type CurvePoint struct {
+	Trial int
+	Best  float64
+}
+
+// Clock mirrors obs.Clock; any Clock.Now is a taint source.
+type Clock interface{ Now() int64 }
+
+// histogram stands in for an obs instrument: not a sink.
+type histogram struct{ sum float64 }
+
+func (h *histogram) Observe(v float64) { h.sum += v }
+
+// metered is the legal pattern: clock readings feed an instrument and
+// nothing else.
+func metered(c Clock, h *histogram) Result {
+	start := c.Now()
+	r := Result{FinalLatency: 1.0}
+	h.Observe(float64(c.Now() - start))
+	return r
+}
+
+// direct stores a wall-clock delta into the result.
+func direct(c Clock) Result {
+	start := time.Now()
+	var r Result
+	r.FinalLatency = 1.0
+	r.Elapsed = time.Since(start).Seconds() // want `clock-derived value flows into fixture/clocktaint/tuner\.Result\.Elapsed`
+	return r
+}
+
+// literal smuggles a clock reading through a composite literal.
+func literal(c Clock) CurvePoint {
+	t := c.Now()
+	return CurvePoint{Trial: 0, Best: float64(t)} // want `clock-derived value flows into fixture/clocktaint/tuner\.CurvePoint\.Best`
+}
+
+// elapsed launders a clock reading through a return value.
+func elapsed(c Clock) float64 {
+	return float64(c.Now())
+}
+
+// indirect needs the interprocedural return summary to see the taint.
+func indirect(c Clock) Result {
+	var r Result
+	r.Elapsed = elapsed(c) // want `clock-derived value flows into fixture/clocktaint/tuner\.Result\.Elapsed`
+	return r
+}
+
+// setElapsed stores its argument into a result: parameter v is a sink
+// conduit, computed by the parameter-flow summaries.
+func setElapsed(r *Result, v float64) {
+	r.Elapsed = v
+}
+
+// viaParam passes a clock reading to the conduit.
+func viaParam(c Clock) Result {
+	var r Result
+	setElapsed(&r, float64(c.Now())) // want `clock-derived value reaches fixture/clocktaint/tuner\.setElapsed parameter "v"`
+	return r
+}
+
+// throughLocal checks def-use propagation through locals and
+// arithmetic before the sink write.
+func throughLocal(c Clock) Result {
+	t0 := c.Now()
+	t1 := c.Now()
+	delta := t1 - t0
+	var r Result
+	r.Elapsed = float64(delta) / 1e9 // want `clock-derived value flows into fixture/clocktaint/tuner\.Result\.Elapsed`
+	return r
+}
+
+// cleanMath looks similar but has no clock anywhere: silent.
+func cleanMath(samples []float64) Result {
+	best := 0.0
+	for _, s := range samples {
+		if s > best {
+			best = s
+		}
+	}
+	return Result{FinalLatency: best}
+}

@@ -1,0 +1,86 @@
+// Fixture for the exhaust analyzer: switches over enum-like const sets
+// must cover every declared constant or carry an explicit default.
+package exhaust
+
+// Kind is an enum: a module-defined named type with a basic underlying
+// and several package-level constants.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// Mode is a string-backed enum.
+type Mode string
+
+const (
+	ModeFast Mode = "fast"
+	ModeSlow Mode = "slow"
+)
+
+// single has one constant: a sentinel, not an enum.
+type single int
+
+const onlyOne single = 0
+
+// covered lists every constant: fine.
+func covered(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// defaulted signs off on fallthrough explicitly: fine.
+func defaulted(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// missing lacks KindC and has no default.
+func missing(k Kind) int {
+	switch k { // want `switch on fixture/exhaust\.Kind is not exhaustive: missing KindC`
+	case KindA, KindB:
+		return 1
+	}
+	return 0
+}
+
+// missingString lacks ModeSlow.
+func missingString(m Mode) {
+	switch m { // want `switch on fixture/exhaust\.Mode is not exhaustive: missing ModeSlow`
+	case ModeFast:
+	}
+}
+
+// sentinel switches over a one-constant type: silent.
+func sentinel(s single) {
+	switch s {
+	case onlyOne:
+	}
+}
+
+// dynamic has a non-constant case: coverage cannot be proven, silent.
+func dynamic(k, other Kind) {
+	switch k {
+	case other:
+	}
+}
+
+// untyped switches over a plain string: not an enum, silent.
+func untyped(s string) {
+	switch s {
+	case "a":
+	}
+}

@@ -1,0 +1,50 @@
+// Fixture for the wireshape analyzer, matching lock file at
+// testdata/wirelock/clean.lock: direct json and gob encoder roots, a
+// nested struct picked up by transitive expansion, an unexported field
+// kept off the wire, and a conduit helper (encodeAny) the
+// parameter-flow summaries must see through.
+package clean
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"io"
+)
+
+type record struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name,omitempty"`
+	Latency float64 `json:"latency_us"`
+	hidden  int     // unexported: not wire
+	Nested  inner   `json:"nested"`
+}
+
+type inner struct {
+	Tag string `json:"tag"`
+}
+
+type blob struct {
+	Data []float64
+}
+
+type event struct {
+	Kind string `json:"kind"`
+}
+
+func writeRecord(w io.Writer, r record) error {
+	_ = r.hidden
+	return json.NewEncoder(w).Encode(r)
+}
+
+func writeBlob(enc *gob.Encoder, b *blob) error {
+	return enc.Encode(b)
+}
+
+// encodeAny is the indirection wireshape resolves interprocedurally.
+func encodeAny(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}
+
+func writeEvent(w io.Writer, e event) error {
+	return encodeAny(w, e)
+}

@@ -1,0 +1,20 @@
+// Fixture for wireshape drift detection against the deliberately stale
+// lock at testdata/wirelock/drift.lock, which records: ID under wire
+// name "ident", Name as an int, and a field Gone that no longer
+// exists. Extra is live but unrecorded (additive notice).
+package drift
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type record struct { // want `fixture/wireshape/drift\.record: field Gone \(wire "gone"\) was removed or renamed`
+	ID    int    `json:"id"`    // want `field ID wire name changed "ident" -> "id"`
+	Name  string `json:"name"`  // want `field Name type changed int -> string`
+	Extra bool   `json:"extra"` // want `new wire field Extra \(wire "extra"\) is not in wire\.lock \(additive`
+}
+
+func write(w io.Writer, r record) error {
+	return json.NewEncoder(w).Encode(r)
+}

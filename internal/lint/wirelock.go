@@ -1,0 +1,260 @@
+package lint
+
+// The wire.lock file format: a plain-text, diff-friendly golden of the
+// module's wire schema, written and checked by the wireshape analyzer.
+// The store's JSONL segments, the fleet wire format, the HTTP/SSE API,
+// and the gob model bundles are durability contracts — old records
+// must stay readable across versions — so the schema of every type
+// that reaches an encoder is locked in a checked-in file, reviewed
+// like code, and regenerated only deliberately (pruner-vet
+// -write-wire, `make wire-lock`).
+//
+// Grammar (one schema entry per type, types sorted by qualified ID):
+//
+//	# comment
+//	type <pkgpath.TypeName> <encoding>[,<encoding>]
+//		field <GoName> wire=<wireName> [omitempty] type=<Go type ...>
+//
+// The type string extends to the end of the line (Go type syntax can
+// contain spaces); every other token is whitespace-delimited. Parse is
+// total over arbitrary bytes (it returns errors, never panics) and
+// Format∘Parse is a fixed point on anything Format emits — both
+// properties are pinned by FuzzWireLockParse.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A WireSchema is the locked wire surface: every module type that
+// transitively reaches a json/gob encoder, with its field layout.
+type WireSchema struct {
+	Types []WireType // sorted by ID
+}
+
+// A WireType is one struct's canonical wire shape.
+type WireType struct {
+	ID        string   // qualified "pkgpath.TypeName"
+	Encodings []string // sorted subset of {"gob", "json"}
+	Fields    []WireField
+}
+
+// A WireField is one exported struct field as it appears on the wire.
+type WireField struct {
+	Name      string // Go field name
+	Wire      string // wire name: json tag when present, Go name otherwise
+	OmitEmpty bool
+	Type      string // Go type, package-path qualified
+}
+
+// Type returns the schema entry with the given qualified ID, or nil.
+func (s *WireSchema) Type(id string) *WireType {
+	for i := range s.Types {
+		if s.Types[i].ID == id {
+			return &s.Types[i]
+		}
+	}
+	return nil
+}
+
+// wireLockHeader is emitted verbatim at the top of every lock file.
+const wireLockHeader = `# wire.lock — canonical schema of every type that reaches a wire
+# encoder (encoding/json, encoding/gob), extracted statically by the
+# wireshape analyzer. Breaking drift (removed/renamed fields, type
+# changes) fails make wire-check; regenerate deliberately with
+# make wire-lock after review. See API.md "Wire compatibility".
+`
+
+// FormatWireLock renders a schema in canonical form: header, types
+// sorted by ID, encodings sorted, fields in declaration order.
+func FormatWireLock(s *WireSchema) []byte {
+	var b strings.Builder
+	b.WriteString(wireLockHeader)
+	typesSorted := append([]WireType(nil), s.Types...)
+	sort.Slice(typesSorted, func(i, j int) bool { return typesSorted[i].ID < typesSorted[j].ID })
+	for _, t := range typesSorted {
+		encs := normalizeEncodings(t.Encodings)
+		fmt.Fprintf(&b, "\ntype %s %s\n", t.ID, strings.Join(encs, ","))
+		for _, f := range t.Fields {
+			b.WriteString("\tfield " + f.Name + " wire=" + f.Wire)
+			if f.OmitEmpty {
+				b.WriteString(" omitempty")
+			}
+			b.WriteString(" type=" + f.Type + "\n")
+		}
+	}
+	return []byte(b.String())
+}
+
+// normalizeEncodings sorts and dedupes an encoding list.
+func normalizeEncodings(encs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range encs {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseWireLock parses lock-file bytes. It is total: malformed input
+// yields an error, never a panic. Encoding lists are normalized, so
+// formatting a successfully parsed file is a fixed point.
+func ParseWireLock(data []byte) (*WireSchema, error) {
+	s := &WireSchema{}
+	var cur *WireType
+	seenTypes := map[string]bool{}
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "type "):
+			toks := strings.Fields(line)
+			if len(toks) != 3 {
+				return nil, fmt.Errorf("wire.lock:%d: want `type <id> <encodings>`, got %q", lineNo+1, line)
+			}
+			id := toks[1]
+			if seenTypes[id] {
+				return nil, fmt.Errorf("wire.lock:%d: duplicate type %q", lineNo+1, id)
+			}
+			seenTypes[id] = true
+			var encs []string
+			for _, e := range strings.Split(toks[2], ",") {
+				if e != "json" && e != "gob" {
+					return nil, fmt.Errorf("wire.lock:%d: unknown encoding %q", lineNo+1, e)
+				}
+				encs = append(encs, e)
+			}
+			s.Types = append(s.Types, WireType{ID: id, Encodings: normalizeEncodings(encs)})
+			cur = &s.Types[len(s.Types)-1]
+		case strings.HasPrefix(line, "field "):
+			if cur == nil {
+				return nil, fmt.Errorf("wire.lock:%d: field line before any type line", lineNo+1)
+			}
+			typeIdx := strings.Index(line, " type=")
+			if typeIdx < 0 {
+				return nil, fmt.Errorf("wire.lock:%d: field line without type=", lineNo+1)
+			}
+			typeStr := strings.TrimSpace(line[typeIdx+len(" type="):])
+			if typeStr == "" {
+				return nil, fmt.Errorf("wire.lock:%d: empty field type", lineNo+1)
+			}
+			toks := strings.Fields(line[:typeIdx])
+			if len(toks) < 3 || len(toks) > 4 {
+				return nil, fmt.Errorf("wire.lock:%d: want `field <name> wire=<w> [omitempty] type=<t>`, got %q", lineNo+1, line)
+			}
+			name := toks[1]
+			if !strings.HasPrefix(toks[2], "wire=") {
+				return nil, fmt.Errorf("wire.lock:%d: missing wire= on field %q", lineNo+1, name)
+			}
+			wire := toks[2][len("wire="):]
+			if name == "" || wire == "" {
+				return nil, fmt.Errorf("wire.lock:%d: empty field or wire name", lineNo+1)
+			}
+			omit := false
+			if len(toks) == 4 {
+				if toks[3] != "omitempty" {
+					return nil, fmt.Errorf("wire.lock:%d: unexpected token %q", lineNo+1, toks[3])
+				}
+				omit = true
+			}
+			for _, f := range cur.Fields {
+				if f.Name == name {
+					return nil, fmt.Errorf("wire.lock:%d: duplicate field %q in %s", lineNo+1, name, cur.ID)
+				}
+			}
+			cur.Fields = append(cur.Fields, WireField{Name: name, Wire: wire, OmitEmpty: omit, Type: typeStr})
+		default:
+			return nil, fmt.Errorf("wire.lock:%d: unrecognized line %q", lineNo+1, line)
+		}
+	}
+	return s, nil
+}
+
+// A wireDiff is one difference between the locked and the live schema.
+type wireDiff struct {
+	TypeID   string
+	Field    string // "" for type-level diffs
+	Breaking bool   // false: additive, reported as a notice
+	Message  string
+}
+
+// diffWireSchemas compares the locked (old) schema against the live
+// one. Removals, renames, and type changes are breaking; new types,
+// new fields, encoding gains, and omitempty toggles are additive.
+func diffWireSchemas(locked, live *WireSchema) []wireDiff {
+	var diffs []wireDiff
+	for _, lt := range locked.Types {
+		cur := live.Type(lt.ID)
+		if cur == nil {
+			diffs = append(diffs, wireDiff{TypeID: lt.ID, Breaking: true,
+				Message: fmt.Sprintf("wire type %s is locked but no longer reaches an encoder; stored data of this shape would be orphaned (regenerate with -write-wire if intended)", lt.ID)})
+			continue
+		}
+		lockedEnc := map[string]bool{}
+		for _, e := range lt.Encodings {
+			lockedEnc[e] = true
+		}
+		liveEnc := map[string]bool{}
+		for _, e := range cur.Encodings {
+			liveEnc[e] = true
+		}
+		for _, e := range lt.Encodings {
+			if !liveEnc[e] {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Breaking: true,
+					Message: fmt.Sprintf("%s no longer reaches a %s encoder (locked encodings %s); regenerate with -write-wire if intended", lt.ID, e, strings.Join(lt.Encodings, ","))})
+			}
+		}
+		for _, e := range cur.Encodings {
+			if !lockedEnc[e] {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID,
+					Message: fmt.Sprintf("%s now also reaches a %s encoder (additive; regenerate wire.lock to record it)", lt.ID, e)})
+			}
+		}
+		liveFields := map[string]WireField{}
+		for _, f := range cur.Fields {
+			liveFields[f.Name] = f
+		}
+		lockedFields := map[string]WireField{}
+		for _, lf := range lt.Fields {
+			lockedFields[lf.Name] = lf
+			f, ok := liveFields[lf.Name]
+			if !ok {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Field: lf.Name, Breaking: true,
+					Message: fmt.Sprintf("%s: field %s (wire %q) was removed or renamed — breaking for stored records and clients; regenerate with -write-wire if intended", lt.ID, lf.Name, lf.Wire)})
+				continue
+			}
+			if f.Wire != lf.Wire {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Field: lf.Name, Breaking: true,
+					Message: fmt.Sprintf("%s: field %s wire name changed %q -> %q — breaking for stored records and clients; regenerate with -write-wire if intended", lt.ID, lf.Name, lf.Wire, f.Wire)})
+			}
+			if f.Type != lf.Type {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Field: lf.Name, Breaking: true,
+					Message: fmt.Sprintf("%s: field %s type changed %s -> %s — breaking for stored records and clients; regenerate with -write-wire if intended", lt.ID, lf.Name, lf.Type, f.Type)})
+			}
+			if f.OmitEmpty != lf.OmitEmpty {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Field: lf.Name,
+					Message: fmt.Sprintf("%s: field %s omitempty changed %v -> %v (additive; regenerate wire.lock to record it)", lt.ID, lf.Name, lf.OmitEmpty, f.OmitEmpty)})
+			}
+		}
+		for _, f := range cur.Fields {
+			if _, ok := lockedFields[f.Name]; !ok {
+				diffs = append(diffs, wireDiff{TypeID: lt.ID, Field: f.Name,
+					Message: fmt.Sprintf("%s: new wire field %s (wire %q) is not in wire.lock (additive; regenerate wire.lock to record it)", lt.ID, f.Name, f.Wire)})
+			}
+		}
+	}
+	for _, t := range live.Types {
+		if locked.Type(t.ID) == nil {
+			diffs = append(diffs, wireDiff{TypeID: t.ID,
+				Message: fmt.Sprintf("new wire type %s is not in wire.lock (additive; regenerate wire.lock to record it)", t.ID)})
+		}
+	}
+	return diffs
+}

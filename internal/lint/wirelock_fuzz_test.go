@@ -1,0 +1,40 @@
+package lint
+
+// Fuzz target for the wire.lock parser. The lock file is hand-editable
+// (merge conflicts, manual reverts), so ParseWireLock must be total:
+// arbitrary bytes either parse or return an error — never panic — and
+// any lock that parses must survive a format/parse cycle as a fixed
+// point, or `make wire-lock` could churn a committed file forever.
+// `make fuzz-smoke` runs the target briefly; `go test` replays the seed
+// corpus as ordinary tests.
+
+import (
+	"testing"
+)
+
+func FuzzWireLockParse(f *testing.F) {
+	f.Add([]byte(wireLockHeader))
+	f.Add([]byte("type a.b json\n\tfield X wire=x type=int\n"))
+	f.Add([]byte("type a.b json,gob\n\tfield X wire=x omitempty type=map[string]int\n"))
+	f.Add([]byte("type a.b json\ntype a.c gob\n\tfield Y wire=Y type=[]float64\n"))
+	f.Add([]byte("\tfield Orphan wire=o type=int\n"))
+	f.Add([]byte("type dup json\ntype dup json\n"))
+	f.Add([]byte("type a.b avro\n"))
+	f.Add([]byte("type a.b json\n\tfield X wire=x type=struct { A int " + "`json:\"a\"`" + " }\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseWireLock(data) // must never panic
+		if err != nil {
+			return
+		}
+		// A parsed schema formats canonically, and that canonical form is
+		// a fixed point of parse∘format.
+		out := FormatWireLock(s)
+		s2, err := ParseWireLock(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, out)
+		}
+		if got := string(FormatWireLock(s2)); got != string(out) {
+			t.Fatalf("format(parse(format(s))) is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out, got)
+		}
+	})
+}

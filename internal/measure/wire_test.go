@@ -1,0 +1,74 @@
+package measure
+
+// TestRecordSchemaMatchesWireLock is the live half of the wire-contract
+// lock: the statically-extracted schema in wire.lock (maintained by
+// pruner-vet's wireshape analyzer, regenerated via `make wire-lock`)
+// must agree with what encoding/json actually sees at runtime when it
+// reflects over recordJSON — field order, wire names, omitempty, and
+// type strings. If the two ever disagree, either the analyzer's
+// extraction or the checked-in lock is wrong, and stored records are at
+// risk either way.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pruner/internal/lint"
+)
+
+func TestRecordSchemaMatchesWireLock(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "wire.lock"))
+	if err != nil {
+		t.Fatalf("reading wire.lock (regenerate with make wire-lock): %v", err)
+	}
+	schema, err := lint.ParseWireLock(data)
+	if err != nil {
+		t.Fatalf("wire.lock does not parse: %v", err)
+	}
+	locked := schema.Type("pruner/internal/measure.recordJSON")
+	if locked == nil {
+		t.Fatal("wire.lock has no entry for pruner/internal/measure.recordJSON")
+	}
+
+	rt := reflect.TypeOf(recordJSON{})
+	var live []lint.WireField
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, opts, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if name == "-" && opts == "" {
+			continue
+		}
+		if name == "" {
+			name = f.Name
+		}
+		live = append(live, lint.WireField{
+			Name:      f.Name,
+			Wire:      name,
+			OmitEmpty: strings.Contains(","+opts+",", ",omitempty,"),
+			Type:      f.Type.String(),
+		})
+	}
+
+	if len(live) != len(locked.Fields) {
+		t.Fatalf("field count drift: runtime sees %d wire fields, wire.lock records %d", len(live), len(locked.Fields))
+	}
+	for i, lf := range locked.Fields {
+		rf := live[i]
+		if rf.Name != lf.Name || rf.Wire != lf.Wire || rf.OmitEmpty != lf.OmitEmpty {
+			t.Errorf("field %d drift: runtime %s (wire %q, omitempty=%v) vs lock %s (wire %q, omitempty=%v)",
+				i, rf.Name, rf.Wire, rf.OmitEmpty, lf.Name, lf.Wire, lf.OmitEmpty)
+		}
+		// The lock qualifies named types with full package paths where
+		// reflect uses the short package name; recordJSON is all builtins
+		// and arrays of builtins, so the strings must agree exactly.
+		if rf.Type != lf.Type {
+			t.Errorf("field %s type drift: runtime %q vs lock %q", lf.Name, rf.Type, lf.Type)
+		}
+	}
+}

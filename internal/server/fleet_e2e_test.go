@@ -73,7 +73,7 @@ func TestFleetEndToEnd(t *testing.T) {
 	v := postJob(t, ts, spec)
 	events := drainSSE(t, ts, v.ID)
 	last := events[len(events)-1]
-	if last.Type != StateDone {
+	if last.Type != string(StateDone) {
 		t.Fatalf("fleet job ended %q (%s)", last.Type, last.Error)
 	}
 	var sawFleetRound bool
@@ -136,7 +136,7 @@ func TestFleetEndToEnd(t *testing.T) {
 	spec3.Measurer = "fleet"
 	v3 := postJob(t, ts, spec3)
 	ev3 := drainSSE(t, ts, v3.ID)
-	if last := ev3[len(ev3)-1]; last.Type != StateFailed {
+	if last := ev3[len(ev3)-1]; last.Type != string(StateFailed) {
 		t.Fatalf("forced-fleet job without workers ended %q, want failed", last.Type)
 	}
 }

@@ -9,14 +9,18 @@ import (
 	"pruner/internal/obs"
 )
 
-// Job states. A job moves queued -> running -> done/failed/canceled;
-// store-served jobs are born done.
+// JobState is a job's lifecycle state. A job moves queued -> running ->
+// done/failed/canceled; store-served jobs are born done. The type exists
+// so the state machine is a closed enum: pruner-vet's exhaust analyzer
+// requires every switch over it to name all five states.
+type JobState string
+
 const (
-	StateQueued   = "queued"
-	StateRunning  = "running"
-	StateDone     = "done"
-	StateFailed   = "failed"
-	StateCanceled = "canceled"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
 
 // JobSpec is the request body of POST /v1/jobs.
@@ -124,7 +128,7 @@ type CurveView struct {
 // jobView is the job representation served by the status endpoints.
 type jobView struct {
 	ID        string     `json:"id"`
-	State     string     `json:"state"`
+	State     JobState   `json:"state"`
 	Spec      JobSpec    `json:"spec"`
 	Error     string     `json:"error,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
@@ -144,7 +148,7 @@ type job struct {
 	enqueuedAt time.Time
 
 	mu       sync.Mutex
-	state    string
+	state    JobState
 	events   []Event
 	notify   chan struct{}
 	result   *JobResult
@@ -155,24 +159,24 @@ type job struct {
 
 func newJob(id string, spec JobSpec, states *obs.GaugeVec) *job {
 	j := &job{id: id, spec: spec, states: states, state: StateQueued, notify: make(chan struct{})}
-	j.events = append(j.events, Event{Type: StateQueued})
-	j.states.With(StateQueued).Add(1)
+	j.events = append(j.events, Event{Type: string(StateQueued)})
+	j.states.With(string(StateQueued)).Add(1)
 	return j
 }
 
 // shiftState moves the job's gauge contribution between lifecycle states;
 // call with j.mu held (the caller just changed j.state).
-func (j *job) shiftState(from, to string) {
+func (j *job) shiftState(from, to JobState) {
 	if from == to {
 		return
 	}
-	j.states.With(from).Add(-1)
-	j.states.With(to).Add(1)
+	j.states.With(string(from)).Add(-1)
+	j.states.With(string(to)).Add(1)
 }
 
 // publish appends an event (optionally moving the job to a new state) and
 // wakes all SSE subscribers.
-func (j *job) publish(state string, ev Event) {
+func (j *job) publish(state JobState, ev Event) {
 	j.mu.Lock()
 	if state != "" {
 		j.shiftState(j.state, state)
@@ -186,13 +190,13 @@ func (j *job) publish(state string, ev Event) {
 
 // finish moves the job to a terminal state with its result and emits the
 // terminal event.
-func (j *job) finish(state string, res *JobResult, errMsg string) {
+func (j *job) finish(state JobState, res *JobResult, errMsg string) {
 	j.mu.Lock()
 	j.shiftState(j.state, state)
 	j.state = state
 	j.result = res
 	j.errMsg = errMsg
-	ev := Event{Type: state, Error: errMsg}
+	ev := Event{Type: string(state), Error: errMsg}
 	if res != nil {
 		ev.Source = res.Source
 		ev.NewMeasurements = res.NewMeasurements
@@ -205,9 +209,17 @@ func (j *job) finish(state string, res *JobResult, errMsg string) {
 	j.mu.Unlock()
 }
 
-// terminal reports whether the state accepts no further events.
-func terminal(state string) bool {
-	return state == StateDone || state == StateFailed || state == StateCanceled
+// terminal reports whether the state accepts no further events. The
+// switch is exhaustive over JobState by design: adding a sixth state
+// forces a decision here (enforced by pruner-vet's exhaust analyzer).
+func terminal(state JobState) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	case StateQueued, StateRunning:
+		return false
+	}
+	return false
 }
 
 // snapshot returns the events from index i on, the channel that signals

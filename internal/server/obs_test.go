@@ -55,7 +55,7 @@ func TestMetricsEndpointScrape(t *testing.T) {
 	srv, ts := testServer(t, t.TempDir())
 	v := postJob(t, ts, e2eSpec)
 	events := drainSSE(t, ts, v.ID)
-	if last := events[len(events)-1]; last.Type != StateDone {
+	if last := events[len(events)-1]; last.Type != string(StateDone) {
 		t.Fatalf("job ended %q (%s)", last.Type, last.Error)
 	}
 
@@ -84,12 +84,12 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		Store store.Stats    `json:"store"`
 	}
 	getJSON(t, ts, "/v1/healthz", &health)
-	if health.Jobs[StateDone] != 1 {
+	if health.Jobs[string(StateDone)] != 1 {
 		t.Fatalf("healthz jobs: %+v, want one done", health.Jobs)
 	}
-	if got, ok := srv.cfg.Obs.Reg().Value(MetricJobs, StateDone); !ok || int(got) != health.Jobs[StateDone] {
+	if got, ok := srv.cfg.Obs.Reg().Value(MetricJobs, string(StateDone)); !ok || int(got) != health.Jobs[string(StateDone)] {
 		t.Fatalf("healthz done=%d but registry %s{state=done}=%v (ok=%v)",
-			health.Jobs[StateDone], MetricJobs, got, ok)
+			health.Jobs[string(StateDone)], MetricJobs, got, ok)
 	}
 	if health.Store.Records == 0 {
 		t.Fatal("healthz store.records is 0 after a tuned job persisted measurements")
@@ -209,7 +209,7 @@ func TestMetricsFleetScrapeMidSession(t *testing.T) {
 				}
 			}
 		}
-		if terminal(ev.Type) {
+		if terminal(JobState(ev.Type)) {
 			break
 		}
 	}
@@ -219,7 +219,7 @@ func TestMetricsFleetScrapeMidSession(t *testing.T) {
 	if !scraped {
 		t.Fatal("SSE stream ended without a round event; nothing was scraped mid-session")
 	}
-	if last.Type != StateDone {
+	if last.Type != string(StateDone) {
 		t.Fatalf("fleet job ended %q (%s)", last.Type, last.Error)
 	}
 

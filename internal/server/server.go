@@ -363,7 +363,7 @@ func (s *Server) enqueue(spec JobSpec) (*job, error) {
 	case s.queue <- j:
 	default:
 		s.nextID--
-		j.states.With(StateQueued).Add(-1) // never entered the queue
+		j.states.With(string(StateQueued)).Add(-1) // never entered the queue
 		return nil, fmt.Errorf("job queue is full (depth %d)", s.cfg.QueueDepth)
 	}
 	s.jobs[j.id] = j
@@ -499,9 +499,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	reg := s.cfg.Obs.Reg()
 	counts := map[string]int{}
-	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
-		if v, ok := reg.Value(MetricJobs, state); ok && v != 0 {
-			counts[state] = int(v)
+	for _, state := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		if v, ok := reg.Value(MetricJobs, string(state)); ok && v != 0 {
+			counts[string(state)] = int(v)
 		}
 	}
 	regGauge := func(name string) int {
@@ -575,13 +575,13 @@ func (s *Server) worker() {
 func (s *Server) run(j *job) {
 	// Every terminal transition is logged with the job attr so operators
 	// can grep a job's lifecycle out of the daemon's structured stream.
-	finish := func(state string, res *JobResult, errMsg string) {
+	finish := func(state JobState, res *JobResult, errMsg string) {
 		j.finish(state, res, errMsg)
 		if errMsg != "" {
-			s.cfg.Log.Warn("job finished", "job", j.id, "state", state, "error", errMsg)
+			s.cfg.Log.Warn("job finished", "job", j.id, "state", string(state), "error", errMsg)
 			return
 		}
-		s.cfg.Log.Info("job finished", "job", j.id, "state", state)
+		s.cfg.Log.Info("job finished", "job", j.id, "state", string(state))
 	}
 	if s.ctx.Err() != nil {
 		finish(StateCanceled, nil, "server shut down before the job started")

@@ -101,7 +101,7 @@ func drainSSE(t *testing.T, ts *httptest.Server, id string) []Event {
 			t.Fatalf("bad SSE payload %q: %v", line, err)
 		}
 		events = append(events, ev)
-		if terminal(ev.Type) {
+		if terminal(JobState(ev.Type)) {
 			break
 		}
 	}
@@ -151,7 +151,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if started != 1 || rounds < 2 {
 		t.Fatalf("SSE saw %d started / %d rounds, want 1 / >=2", started, rounds)
 	}
-	if last.Type != StateDone || last.Source != "tuned" {
+	if last.Type != string(StateDone) || last.Source != "tuned" {
 		t.Fatalf("terminal event %+v, want done/tuned", last)
 	}
 	if last.NewMeasurements != e2eSpec.Trials {
@@ -244,7 +244,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	// Jobs: tuned + cache hit + deeper re-tune. Records: the first job's
 	// 20 plus the deeper job's 3 full rounds of 10.
-	if health.Status != "ok" || health.Jobs[StateDone] != 3 || health.Store.Records != 50 {
+	if health.Status != "ok" || health.Jobs[string(StateDone)] != 3 || health.Store.Records != 50 {
 		t.Fatalf("healthz: %+v", health)
 	}
 }
@@ -353,7 +353,7 @@ func TestServerCancelQueuedJob(t *testing.T) {
 	}
 	events := drainSSE(t, ts, v2.ID)
 	last := events[len(events)-1]
-	if last.Type != StateCanceled {
+	if last.Type != string(StateCanceled) {
 		t.Fatalf("queued job ended %q, want canceled", last.Type)
 	}
 	for _, ev := range events {
@@ -474,7 +474,7 @@ func TestPretrainedMethodGating(t *testing.T) {
 	v := postJob(t, ts2, JobSpec{Device: "t4", Network: "dcgan", Method: "moa-pruner", Trials: 20, MaxTasks: 1, Seed: 5})
 	events := drainSSE(t, ts2, v.ID)
 	last := events[len(events)-1]
-	if last.Type != StateDone {
+	if last.Type != string(StateDone) {
 		t.Fatalf("moa-pruner job ended %q (%s)", last.Type, last.Error)
 	}
 	if got := getJob(t, ts2, v.ID); got.Result == nil || got.Result.Source != "tuned" {

@@ -407,6 +407,8 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			panic("tuner: AdaptFineTune requires pretrained weights")
 		}
 		nn.CopyParams(opt.Model.Params(), opt.Pretrained)
+	case AdaptNone:
+		// The model trains from scratch online.
 	}
 
 	// Online training is incremental: each fit sees the records measured

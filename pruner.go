@@ -211,6 +211,8 @@ func PretrainedKind(m Method) string {
 		return "tensetmlp"
 	case MethodTLP:
 		return "tlp"
+	case MethodPruner, MethodAnsor, MethodMetaSchedule, MethodRoller:
+		return ""
 	}
 	return ""
 }
