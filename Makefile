@@ -96,8 +96,10 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -timeout=120m .
 
 # CI's benchmark smoke: every internal benchmark once (incl. the
-# verify-stage BenchmarkPredictBatched, the training-engine BenchmarkFit
-# and the BenchmarkTunePipeline depth sweep) plus a bounded root subset.
+# verify-stage BenchmarkPredictBatched, the training-engine BenchmarkFit,
+# the BenchmarkTunePipeline depth sweep and the fixed-vs-adaptive
+# BenchmarkTuneAdaptive measured-candidate comparison) plus a bounded
+# root subset.
 # The first line is the zero-allocation gate (DESIGN.md §12): the
 # TestAlloc* tests pin the warmed *In inference kernels to 0 heap
 # allocations per run via testing.AllocsPerRun — the dynamic cross-check

@@ -58,6 +58,14 @@ type Config struct {
 	// differ between depths (deeper sessions search against slightly
 	// staler history).
 	PipelineDepth int
+	// AdaptBudget forwards tuner.Options.AdaptBudget to every tuning
+	// session: calibration-driven verify/draft/depth control. The
+	// "adaptive" experiment compares fixed vs adaptive explicitly and
+	// ignores this field; setting it here adapts the whole suite.
+	AdaptBudget bool
+	// Adapt bounds the controller when AdaptBudget is set (zero value =
+	// tuner.AdaptConfig defaults).
+	Adapt tuner.AdaptConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +112,9 @@ var Registry = map[string]Runner{
 	"table12": Table12,
 	"table13": Table13,
 	"fig16":   Fig16,
+	// Beyond the paper: fixed vs adaptive budget control at equal trials
+	// (ROADMAP "Adaptive verify budget"; DESIGN.md §14).
+	"adaptive": Adaptive,
 }
 
 // IDs lists experiment IDs in evaluation order.
@@ -112,6 +123,7 @@ func IDs() []string {
 		"table1", "fig6", "fig7", "table5", "fig8", "table6", "fig9",
 		"fig10", "fig11", "table7", "fig12", "table8", "table9", "fig13",
 		"fig14", "table10", "fig15", "table11", "table12", "table13", "fig16",
+		"adaptive",
 	}
 	return ids
 }
@@ -327,6 +339,8 @@ func (h *harness) tune(dev *device.Device, tasks []*ir.Task, method string, seed
 		Seed:          seed,
 		Pool:          h.pool, // one budget across the suite, not one per session
 		PipelineDepth: h.cfg.PipelineDepth,
+		AdaptBudget:   h.cfg.AdaptBudget,
+		Adapt:         h.cfg.Adapt,
 		Fit:           costmodel.FitOptions{Epochs: sc.onlineEpochs, Seed: seed},
 	}
 	evo := search.EvoParams{Population: sc.evoPop, Generations: sc.evoGens, MutateProb: 0.85, CrossProb: 0.05}

@@ -56,10 +56,21 @@ func NewPrunerPolicy() *PrunerPolicy {
 // Name implements Policy.
 func (p *PrunerPolicy) Name() string { return "pruner" }
 
+// SpecBudget implements SpecBudgeter: the configured |S_spec| after
+// defaulting, the base the tuner's adaptive controller scales.
+func (p *PrunerPolicy) SpecBudget() int { return p.LSE.withDefaults().SpecSize }
+
 // NextBatch implements Policy.
 func (p *PrunerPolicy) NextBatch(ctx *Context, n int) []*schedule.Schedule {
-	// Draft.
-	spec := RunLSE(ctx, p.LSE)
+	// Draft. Context.DraftBudget overrides |S_spec| alone — the random
+	// and exploit draft shares stay fixed, so scaling the budget resizes
+	// the speculative set, not the exploration floor.
+	lse := p.LSE
+	if ctx.DraftBudget > 0 {
+		lse = lse.withDefaults()
+		lse.SpecSize = ctx.DraftBudget
+	}
+	spec := RunLSE(ctx, lse)
 	draft := make([]*schedule.Schedule, 0, len(spec)+p.RandomDraft+p.ExploitDraft)
 	seen := map[string]bool{}
 	for _, s := range spec {

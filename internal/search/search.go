@@ -53,6 +53,12 @@ type Context struct {
 	// pre-filter and cost-model verification. nil falls back to lowering
 	// on every use.
 	Memo *schedule.Memo
+	// DraftBudget, when positive, overrides the policy's own draft-stage
+	// candidate budget (|S_spec| for the Pruner policy) for this round —
+	// the tuner's adaptive controller shrinks or grows it with the cost
+	// model's measured calibration. Policies without a draft stage
+	// ignore it; 0 keeps the policy's configured budget.
+	DraftBudget int
 }
 
 // lower resolves a schedule through the round memo (plain lowering when
@@ -101,6 +107,15 @@ type Policy interface {
 	Name() string
 	// NextBatch returns up to n unmeasured schedules for the task.
 	NextBatch(ctx *Context, n int) []*schedule.Schedule
+}
+
+// SpecBudgeter is optionally implemented by policies with an explicit
+// draft-stage candidate budget (the Pruner policy's |S_spec|). The tuner
+// reads it to learn the budget Context.DraftBudget scales against, so
+// adaptive control adapts to a policy's configured size instead of
+// assuming the paper default.
+type SpecBudgeter interface {
+	SpecBudget() int
 }
 
 // scored pairs a schedule with a policy-internal score (higher better).

@@ -48,8 +48,16 @@ type JobSpec struct {
 	// same seed.
 	Measurer string `json:"measurer,omitempty"`
 	// PipelineDepth bounds the session's in-flight measurement rounds
-	// (tuner pipelining); 0/1 is the serial loop.
+	// (tuner pipelining); 0/1 is the serial loop. Ignored when
+	// AdaptBudget is set (the controller owns the depth).
 	PipelineDepth int `json:"pipeline_depth,omitempty"`
+	// AdaptBudget enables the calibration-driven budget controller: the
+	// session shrinks its verify/measure batch, widens its LSE draft
+	// set and deepens its pipeline as the cost model proves calibrated,
+	// measuring fewer candidates for the same trials budget. Round
+	// events then carry calib_error / verify_budget / draft_budget /
+	// target_depth.
+	AdaptBudget bool `json:"adapt_budget,omitempty"`
 }
 
 // Event is one SSE frame of job progress. Type is one of "queued",
@@ -77,6 +85,13 @@ type Event struct {
 	// serving layer at the commit boundary (the deterministic engine
 	// never reads a real clock, so the tuner cannot report this itself).
 	RoundMillis int64 `json:"round_millis,omitempty"`
+	// Adaptive-controller state (adapt_budget jobs only): the smoothed
+	// rank error after this round's commit and the budgets in force when
+	// it was planned. Absent on fixed-budget jobs.
+	CalibError   float64 `json:"calib_error,omitempty"`
+	VerifyBudget int     `json:"verify_budget,omitempty"`
+	DraftBudget  int     `json:"draft_budget,omitempty"`
+	TargetDepth  int     `json:"target_depth,omitempty"`
 	// Terminal fields.
 	Source          string `json:"source,omitempty"`
 	NewMeasurements int    `json:"new_measurements,omitempty"`

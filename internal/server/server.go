@@ -660,6 +660,7 @@ func (s *Server) run(j *job) {
 		MaxTasks:      spec.MaxTasks,
 		TensorCore:    spec.TensorCore,
 		PipelineDepth: spec.PipelineDepth,
+		AdaptBudget:   spec.AdaptBudget,
 		Pretrained:    s.cfg.Pretrained,
 		Pool:          s.cfg.Pool,
 		Ctx:           ctx,
@@ -674,17 +675,21 @@ func (s *Server) run(j *job) {
 				"round", ev.Round, "rounds", ev.Rounds,
 				"measurer", ev.Measurer, "round_millis", elapsed.Milliseconds())
 			j.publish("", Event{
-				Type:        "round",
-				Round:       ev.Round,
-				Rounds:      ev.Rounds,
-				Task:        ev.TaskName,
-				Trials:      ev.Trials,
-				SimSeconds:  ev.SimSeconds,
-				WorkloadMS:  ms(ev.WorkloadLat),
-				TaskBestMS:  ms(ev.TaskBest),
-				Measurer:    ev.Measurer,
-				InFlight:    ev.InFlight,
-				RoundMillis: elapsed.Milliseconds(),
+				Type:         "round",
+				Round:        ev.Round,
+				Rounds:       ev.Rounds,
+				Task:         ev.TaskName,
+				Trials:       ev.Trials,
+				SimSeconds:   ev.SimSeconds,
+				WorkloadMS:   ms(ev.WorkloadLat),
+				TaskBestMS:   ms(ev.TaskBest),
+				Measurer:     ev.Measurer,
+				InFlight:     ev.InFlight,
+				RoundMillis:  elapsed.Milliseconds(),
+				CalibError:   ev.CalibError,
+				VerifyBudget: ev.VerifyBudget,
+				DraftBudget:  ev.DraftBudget,
+				TargetDepth:  ev.TargetDepth,
 			})
 		},
 	}

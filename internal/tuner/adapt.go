@@ -1,0 +1,223 @@
+// Calibration-driven budget control (DESIGN.md §14). The paper's
+// draft-then-verify split spends a fixed verify/measure budget per round
+// regardless of how well the cost model is actually ranking candidates.
+// The adaptive controller closes that loop: a per-task calibration
+// tracker records the predicted-vs-measured rank error of every
+// committed round, and three deterministic control laws spend the
+// session's budget where the model is uncertain — a poorly-calibrated
+// task keeps the full measured batch, the policy's own LSE draft budget
+// and a shallow pipeline; a well-calibrated one shrinks the measured
+// batch toward its floor while *widening* the cheap draft set and
+// deepening the pipeline, trusting verification it has earned.
+//
+// Determinism: the tracker is fed exclusively from commit-ordered
+// results on the session goroutine, so every control decision is a pure
+// function of the committed prefix of rounds. Adaptive sessions are
+// therefore bitwise reproducible at any Parallelism, any requested
+// PipelineDepth (the controller owns the window when enabled) and
+// across measurement backends — the same contract the fixed engine
+// holds for a fixed depth.
+package tuner
+
+import "math"
+
+// AdaptConfig bounds the budget controller enabled by
+// Options.AdaptBudget. The zero value selects defaults for every field.
+type AdaptConfig struct {
+	// MinBatch is the smallest per-round measured batch the controller
+	// may shrink to (default BatchSize/2, floor 2). A fully-calibrated
+	// task still measures MinBatch candidates per round, so calibration
+	// keeps being re-checked and drift is caught.
+	MinBatch int
+	// MaxDepth is the deepest pipeline window the controller may grow to
+	// (default 2). Depth rises with session-level confidence: staleness
+	// from in-flight rounds only costs quality when the model's ranking
+	// is moving, which is exactly when calibration error is high.
+	MaxDepth int
+	// MaxSpec is the largest LSE draft budget (|S_spec|) handed to the
+	// policy (default four times the policy's own budget). Drafting is the
+	// cheap half of draft-then-verify, so the controller spends
+	// confidence in the opposite direction from the verify batch: a
+	// calibrated verifier earns a *wider* speculation set for the model
+	// to rank, which is what keeps quality flat while the measured batch
+	// shrinks. Only meaningful for policies that expose a draft budget
+	// via search.SpecBudgeter.
+	MaxSpec int
+	// LowErr / HighErr map smoothed rank error onto confidence: error at
+	// or below LowErr (default 0.08) is full confidence, at or above
+	// HighErr (default LowErr+0.25) is none, linear in between. A random
+	// ranker sits at 0.5, a perfect one at 0. The LowErr default is
+	// deliberately strict — a batch of ten has 45 pairs, so 0.08 allows
+	// only a handful of discordant pairs: budgets shrink only for tasks
+	// whose verifier ranks near-perfectly, and a merely-decent model
+	// keeps the full fixed budget (see the bert_tiny row of the
+	// "adaptive" experiment for what the strictness buys).
+	LowErr  float64
+	HighErr float64
+	// Alpha is the EWMA weight of the newest round's error (default 0.3).
+	Alpha float64
+}
+
+func (c AdaptConfig) withDefaults(batch, specBase int) AdaptConfig {
+	if c.MinBatch <= 0 {
+		c.MinBatch = batch / 2
+		if c.MinBatch < 2 {
+			c.MinBatch = 2
+		}
+	}
+	if c.MinBatch > batch {
+		c.MinBatch = batch
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 2
+	}
+	if c.MaxSpec <= 0 && specBase > 0 {
+		c.MaxSpec = 4 * specBase
+	}
+	if specBase > 0 && c.MaxSpec < specBase {
+		c.MaxSpec = specBase
+	}
+	if c.LowErr <= 0 {
+		c.LowErr = 0.08
+	}
+	if c.HighErr <= c.LowErr {
+		c.HighErr = c.LowErr + 0.25
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	return c
+}
+
+// calibState is one EWMA rank-error tracker. Until the first observed
+// round (seen == false) confidence is defined as zero, so sessions start
+// at the full fixed budgets and must earn every reduction.
+type calibState struct {
+	err  float64
+	seen bool
+}
+
+func (s *calibState) fold(e, alpha float64) {
+	if !s.seen {
+		s.err, s.seen = e, true
+		return
+	}
+	s.err = (1-alpha)*s.err + alpha*e
+}
+
+// adaptController owns the three budget laws. It lives on the session
+// goroutine: observe() is called only from commit (in strict round
+// order) and the budget methods only from plan, so no locking is needed
+// and every decision is reproducible from the committed prefix.
+type adaptController struct {
+	cfg      AdaptConfig
+	batch    int // nominal verify budget per round (Options.BatchSize)
+	specBase int // the policy's own draft budget; 0 when it has none
+	session  calibState
+	tasks    map[string]*calibState // keyed access only, never ranged
+}
+
+func newAdaptController(cfg AdaptConfig, batch, specBase int) *adaptController {
+	return &adaptController{
+		cfg:      cfg.withDefaults(batch, specBase),
+		batch:    batch,
+		specBase: specBase,
+		tasks:    map[string]*calibState{},
+	}
+}
+
+// confidence maps a tracker onto [0, 1]: how much of its budget
+// reduction this tracker has earned.
+func (a *adaptController) confidence(s calibState) float64 {
+	if !s.seen {
+		return 0
+	}
+	c := (a.cfg.HighErr - s.err) / (a.cfg.HighErr - a.cfg.LowErr)
+	return math.Min(1, math.Max(0, c))
+}
+
+func (a *adaptController) taskCalib(id string) calibState {
+	if st := a.tasks[id]; st != nil {
+		return *st
+	}
+	return calibState{}
+}
+
+// verifyBudget is control law (a): the measured-batch bound for the
+// task's next round, from BatchSize (no confidence) down to MinBatch.
+func (a *adaptController) verifyBudget(taskID string) int {
+	c := a.confidence(a.taskCalib(taskID))
+	return a.cfg.MinBatch + int(math.Round((1-c)*float64(a.batch-a.cfg.MinBatch)))
+}
+
+// draftBudget is control law (b): the LSE |S_spec| handed to the policy,
+// from the policy's own budget up to MaxSpec; 0 (no override) when the
+// policy exposes no draft budget. Confidence widens the draft set — the
+// cheap half of the loop — so the fewer candidates law (a) lets through
+// to measurement are picked from a larger model-ranked pool.
+func (a *adaptController) draftBudget(taskID string) int {
+	if a.specBase <= 0 {
+		return 0
+	}
+	c := a.confidence(a.taskCalib(taskID))
+	return a.specBase + int(math.Round(c*float64(a.cfg.MaxSpec-a.specBase)))
+}
+
+// targetDepth is control law (c): the pipeline-window bound, from 1 (no
+// session-level confidence) up to MaxDepth. Driven by the session
+// tracker, not a per-task one, because the window is shared.
+func (a *adaptController) targetDepth() int {
+	c := a.confidence(a.session)
+	return 1 + int(math.Round(c*float64(a.cfg.MaxDepth-1)))
+}
+
+// observe folds one committed round's predicted-vs-measured ranking into
+// the task and session trackers and returns the task's smoothed error.
+// Rounds with no rank signal (fewer than two comparable measurements)
+// leave both trackers untouched.
+func (a *adaptController) observe(taskID string, scores, lats []float64) float64 {
+	st := a.tasks[taskID]
+	if st == nil {
+		st = &calibState{}
+		a.tasks[taskID] = st
+	}
+	if e := rankError(scores, lats); e >= 0 {
+		st.fold(e, a.cfg.Alpha)
+		a.session.fold(e, a.cfg.Alpha)
+	}
+	return st.err
+}
+
+// rankError is the calibration signal: the discordant fraction of all
+// comparable pairs between the verifier's scores (higher is better) and
+// the measured latencies (lower is better), ties counting half. 0 is a
+// perfectly-ranked batch, 0.5 a random one, 1 a perfectly inverted one.
+// Pairs with equal, NaN or both-+Inf latencies carry no signal and are
+// skipped; a single +Inf (failed build) ranks last and does count — a
+// model that scores unbuildable schedules highly is miscalibrated.
+// Returns -1 when no comparable pair exists.
+func rankError(scores, lats []float64) float64 {
+	if len(scores) != len(lats) {
+		return -1
+	}
+	var disc, total float64
+	for i := range lats {
+		for j := i + 1; j < len(lats); j++ {
+			li, lj := lats[i], lats[j]
+			if li == lj || math.IsNaN(li) || math.IsNaN(lj) {
+				continue
+			}
+			total++
+			switch si, sj := scores[i], scores[j]; {
+			case si == sj:
+				disc += 0.5
+			case (si > sj) != (li < lj):
+				disc++
+			}
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	return disc / total
+}

@@ -1,0 +1,310 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pruner/internal/costmodel"
+	"pruner/internal/device"
+	"pruner/internal/ir"
+	"pruner/internal/measure"
+	"pruner/internal/nn"
+	"pruner/internal/schedule"
+	"pruner/internal/search"
+	"pruner/internal/simulator"
+)
+
+func TestRankError(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name   string
+		scores []float64
+		lats   []float64
+		want   float64
+	}{
+		{"perfect", []float64{3, 2, 1}, []float64{0.1, 0.2, 0.3}, 0},
+		{"inverted", []float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}, 1},
+		{"partially-discordant", []float64{3, 1, 2}, []float64{0.1, 0.2, 0.3}, 1.0 / 3},
+		{"tied-scores", []float64{1, 1}, []float64{0.1, 0.2}, 0.5},
+		{"tied-lats-no-signal", []float64{1, 2}, []float64{0.1, 0.1}, -1},
+		{"single", []float64{1}, []float64{0.1}, -1},
+		{"empty", nil, nil, -1},
+		{"mismatched", []float64{1, 2}, []float64{0.1}, -1},
+		{"nan-skipped", []float64{2, 1}, []float64{math.NaN(), 0.2}, -1},
+		// A failed build (+Inf) ranks last: scoring it highest is one
+		// discordant pair against each finite latency.
+		{"inf-ranks-last", []float64{3, 2, 1}, []float64{inf, 0.1, 0.2}, 2.0 / 3},
+		{"both-inf-no-signal", []float64{2, 1}, []float64{inf, inf}, -1},
+	}
+	for _, tc := range cases {
+		if got := rankError(tc.scores, tc.lats); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: rankError = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAdaptConfigDefaults(t *testing.T) {
+	c := AdaptConfig{}.withDefaults(10, 512)
+	if c.MinBatch != 5 || c.MaxDepth != 2 || c.MaxSpec != 2048 {
+		t.Fatalf("defaults for batch=10 spec=512: %+v", c)
+	}
+	if c.LowErr != 0.08 || c.HighErr != 0.33 || c.Alpha != 0.3 {
+		t.Fatalf("threshold defaults: %+v", c)
+	}
+	// Tiny batches floor MinBatch at 2.
+	if c := (AdaptConfig{}).withDefaults(3, 0); c.MinBatch != 2 {
+		t.Fatalf("MinBatch floor: %+v", c)
+	}
+	// An explicit MaxSpec below the policy's own budget is raised to it:
+	// confidence must never narrow the draft set.
+	if c := (AdaptConfig{MaxSpec: 8}).withDefaults(10, 40); c.MaxSpec != 40 {
+		t.Fatalf("MaxSpec must not undercut the policy budget: %+v", c)
+	}
+	// No draft budget -> no spec ceiling to invent.
+	if c := (AdaptConfig{}).withDefaults(10, 0); c.MaxSpec != 0 {
+		t.Fatalf("MaxSpec without a SpecBudgeter policy: %+v", c)
+	}
+	// Explicit bounds are clamped into the valid range.
+	if c := (AdaptConfig{MinBatch: 99}).withDefaults(10, 0); c.MinBatch != 10 {
+		t.Fatalf("MinBatch clamp: %+v", c)
+	}
+	if c := (AdaptConfig{LowErr: 0.3, HighErr: 0.1}).withDefaults(10, 0); c.HighErr <= c.LowErr {
+		t.Fatalf("HighErr must stay above LowErr: %+v", c)
+	}
+}
+
+func TestAdaptControllerLaws(t *testing.T) {
+	ctrl := newAdaptController(AdaptConfig{MinBatch: 2, MaxDepth: 4}, 10, 512)
+	// Before any observation: zero confidence, full budgets, serial depth.
+	if got := ctrl.verifyBudget("t0"); got != 10 {
+		t.Fatalf("unseen verify budget %d, want the full batch 10", got)
+	}
+	if got := ctrl.draftBudget("t0"); got != 512 {
+		t.Fatalf("unseen draft budget %d, want the full 512", got)
+	}
+	if got := ctrl.targetDepth(); got != 1 {
+		t.Fatalf("unseen target depth %d, want 1", got)
+	}
+	// Perfectly-ranked rounds earn the floors and the full window.
+	for i := 0; i < 12; i++ {
+		ctrl.observe("t0", []float64{3, 2, 1}, []float64{0.1, 0.2, 0.3})
+	}
+	if got := ctrl.verifyBudget("t0"); got != 2 {
+		t.Fatalf("calibrated verify budget %d, want MinBatch 2", got)
+	}
+	if got := ctrl.draftBudget("t0"); got != 2048 {
+		t.Fatalf("calibrated draft budget %d, want MaxSpec 2048", got)
+	}
+	if got := ctrl.targetDepth(); got != 4 {
+		t.Fatalf("calibrated target depth %d, want MaxDepth 4", got)
+	}
+	// An uncalibrated sibling task keeps its own full budget.
+	if got := ctrl.verifyBudget("t1"); got != 10 {
+		t.Fatalf("per-task isolation broken: t1 budget %d, want 10", got)
+	}
+	// Inverted rounds drive the error back up and budgets recover.
+	for i := 0; i < 12; i++ {
+		ctrl.observe("t0", []float64{1, 2, 3}, []float64{0.1, 0.2, 0.3})
+	}
+	if got := ctrl.verifyBudget("t0"); got != 10 {
+		t.Fatalf("drifted verify budget %d, want full batch 10", got)
+	}
+	// No-signal rounds leave the trackers untouched.
+	before := ctrl.taskCalib("t0")
+	ctrl.observe("t0", []float64{1}, []float64{0.1})
+	if ctrl.taskCalib("t0") != before {
+		t.Fatal("a signal-free round must not move the tracker")
+	}
+}
+
+// oracleModel scores candidates with the simulator's true (noise-free)
+// latency, negated — a perfectly-calibrated verifier. Unbuildable
+// schedules score -Inf, matching their +Inf measured latency. It is the
+// "well-modeled task" fixture for the adaptive-budget tests.
+type oracleModel struct{ sim *simulator.Simulator }
+
+func (o *oracleModel) Name() string { return "oracle" }
+
+func (o *oracleModel) Predict(t *ir.Task, schs []*schedule.Schedule) []float64 {
+	out := make([]float64, len(schs))
+	for i, s := range schs {
+		lat, err := o.sim.Latency(t, s)
+		if err != nil {
+			out[i] = math.Inf(-1)
+			continue
+		}
+		out[i] = -lat
+	}
+	return out
+}
+
+func (o *oracleModel) Fit([]costmodel.Record, costmodel.FitOptions) costmodel.FitReport {
+	return costmodel.FitReport{}
+}
+func (o *oracleModel) Params() []*nn.Tensor   { return nil }
+func (o *oracleModel) Costs() costmodel.Costs { return costmodel.Costs{} }
+
+// tuneAdaptive runs the fixed-seed adaptive session of the determinism
+// suite: tunePipeline's session with AdaptBudget on. The requested depth
+// is deliberately part of the matrix — adaptation must make it
+// irrelevant.
+func tuneAdaptive(depth, parallelism int, m measure.Measurer) *Result {
+	return Tune(device.T4, twoTasks(), Options{
+		Trials:        60,
+		BatchSize:     10,
+		Policy:        search.NewPrunerPolicy(),
+		Model:         costmodel.NewPaCM(3),
+		OnlineTrain:   true,
+		Seed:          9,
+		Parallelism:   parallelism,
+		PipelineDepth: depth,
+		Measurer:      m,
+		AdaptBudget:   true,
+	})
+}
+
+// TestAdaptBudgetOffMatchesGolden pins that the controller is inert when
+// disabled: an Options literal that spells AdaptBudget: false (and an
+// explicit zero Adapt bounds struct) reproduces the pre-refactor golden
+// fingerprint bit for bit.
+func TestAdaptBudgetOffMatchesGolden(t *testing.T) {
+	res := Tune(device.T4, twoTasks(), Options{
+		Trials:        60,
+		BatchSize:     10,
+		Policy:        search.NewPrunerPolicy(),
+		Model:         costmodel.NewPaCM(3),
+		OnlineTrain:   true,
+		Seed:          9,
+		Parallelism:   1,
+		PipelineDepth: 1,
+		AdaptBudget:   false,
+		Adapt:         AdaptConfig{},
+	})
+	if got := resultFingerprint(res); got != preRefactorGolden {
+		t.Fatalf("AdaptBudget=false fingerprint %s, pre-refactor golden %s", got, preRefactorGolden)
+	}
+}
+
+// TestTuneAdaptiveDeterministicMatrix is the adaptive determinism
+// contract: one session, bitwise identical across Parallelism AND the
+// requested PipelineDepth (the controller owns the window, so the
+// requested depth cannot matter) AND measurement backends.
+func TestTuneAdaptiveDeterministicMatrix(t *testing.T) {
+	base := tuneAdaptive(1, 1, nil)
+	equalResults(t, "adaptive depth=1,P=1 vs depth=4,P=8", base, tuneAdaptive(4, 8, nil))
+	equalResults(t, "adaptive depth=1,P=1 vs depth=16,P=2", base, tuneAdaptive(16, 2, nil))
+
+	ws := httptest.NewServer(measure.NewWorker(measure.WorkerOptions{}).Handler())
+	defer ws.Close()
+	fleet := measure.NewFleet([]string{ws.URL}, measure.FleetOptions{})
+	equalResults(t, "adaptive simulator vs fleet", base, tuneAdaptive(8, 4, fleet))
+}
+
+// adaptComparison runs the fixed/adaptive pair over the oracle verifier —
+// the well-modeled case the controller is built for.
+func adaptComparison(adaptive bool, m measure.Measurer) *Result {
+	return Tune(device.T4, twoTasks(), Options{
+		Trials:      60,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       &oracleModel{sim: simulator.New(device.T4)},
+		Seed:        9,
+		Parallelism: 1,
+		Measurer:    m,
+		AdaptBudget: adaptive,
+	})
+}
+
+// TestTuneAdaptiveMeasuresFewer is the perf claim behind the subsystem:
+// with a well-calibrated verifier, the adaptive session measures
+// substantially fewer candidates at the same Trials budget without
+// losing final quality.
+func TestTuneAdaptiveMeasuresFewer(t *testing.T) {
+	fixed := adaptComparison(false, nil)
+	adaptive := adaptComparison(true, nil)
+	if len(adaptive.Records) >= len(fixed.Records) {
+		t.Fatalf("adaptive session measured %d candidates, fixed %d — no savings",
+			len(adaptive.Records), len(fixed.Records))
+	}
+	if math.IsInf(adaptive.FinalLatency, 1) {
+		t.Fatal("adaptive session never covered the workload")
+	}
+	// Equal-or-better quality at equal budget is the acceptance bar on
+	// well-modeled tasks; allow float-level slack only.
+	if adaptive.FinalLatency > fixed.FinalLatency*1.02 {
+		t.Fatalf("adaptive final latency %g worse than fixed %g",
+			adaptive.FinalLatency, fixed.FinalLatency)
+	}
+	// The controller's decisions must surface in progress events.
+	var sawShrunk, sawDeep bool
+	res := Tune(device.T4, twoTasks(), Options{
+		Trials:      60,
+		BatchSize:   10,
+		Policy:      search.NewPrunerPolicy(),
+		Model:       &oracleModel{sim: simulator.New(device.T4)},
+		Seed:        9,
+		Parallelism: 1,
+		AdaptBudget: true,
+		Progress: func(ev ProgressEvent) {
+			if ev.VerifyBudget > 0 && ev.VerifyBudget < 10 {
+				sawShrunk = true
+			}
+			if ev.TargetDepth > 1 {
+				sawDeep = true
+			}
+		},
+	})
+	if !sawShrunk || !sawDeep {
+		t.Fatalf("controller state missing from progress events (shrunk=%v deep=%v, %d records)",
+			sawShrunk, sawDeep, len(res.Records))
+	}
+}
+
+// perCandidateMeasurer charges wire latency per schedule rather than per
+// batch, so a shrunken verify batch actually saves wall-clock — the
+// shape of real measurement cost (each candidate runs on hardware).
+type perCandidateMeasurer struct {
+	slowMeasurer
+	per time.Duration
+}
+
+func (p *perCandidateMeasurer) Info() measure.Info {
+	info := p.adapter().Info()
+	info.Name = "per-candidate"
+	return info
+}
+
+func (p *perCandidateMeasurer) Measure(ctx context.Context, req measure.Request) ([]measure.Result, error) {
+	select {
+	case <-time.After(time.Duration(len(req.Batch)) * p.per):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return p.adapter().Measure(ctx, req)
+}
+
+// BenchmarkTuneAdaptive is the fixed-vs-adaptive sweep CI runs via
+// `make bench-smoke`: the same oracle-verified session against a
+// per-candidate-latency backend, fixed budgets vs the controller. The
+// measured-candidate count is reported as a metric; the wall-clock gap
+// is the verification the controller skipped plus the pipeline overlap
+// it earned.
+func BenchmarkTuneAdaptive(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "fixed"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var measured int
+			for i := 0; i < b.N; i++ {
+				res := adaptComparison(adaptive, &perCandidateMeasurer{per: 2 * time.Millisecond})
+				measured = len(res.Records)
+			}
+			b.ReportMetric(float64(measured), "measured")
+		})
+	}
+}

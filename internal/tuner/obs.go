@@ -21,6 +21,17 @@ const (
 	// MetricInFlight gauges the pipeline window occupancy at the last
 	// commit (1 on the serial path).
 	MetricInFlight = "pruner_tuner_inflight_batches"
+	// MetricCalibError is a histogram of the adaptive controller's
+	// smoothed per-round rank error (0 perfect, 0.5 random); only
+	// populated when Options.AdaptBudget is set.
+	MetricCalibError = "pruner_tuner_calibration_error"
+	// MetricVerifyBudget / MetricDraftBudget / MetricTargetDepth gauge
+	// the controller's decisions at the last committed round: the
+	// measured-batch bound, the LSE |S_spec| handed to the policy, and
+	// the pipeline-window bound. Adaptive sessions only.
+	MetricVerifyBudget = "pruner_tuner_verify_budget"
+	MetricDraftBudget  = "pruner_tuner_draft_budget"
+	MetricTargetDepth  = "pruner_tuner_target_depth"
 )
 
 // engineObs is the round engine's prepared instrument set. It is built
@@ -39,6 +50,10 @@ type engineObs struct {
 	rounds         *obs.Counter
 	trials         *obs.Counter
 	inFlight       *obs.Gauge
+	calibError     *obs.Histogram
+	verifyBudget   *obs.Gauge
+	draftBudget    *obs.Gauge
+	targetDepth    *obs.Gauge
 }
 
 func newEngineObs(o *obs.Observer) engineObs {
@@ -59,5 +74,14 @@ func newEngineObs(o *obs.Observer) engineObs {
 		trials: r.Counter(MetricTrials, "Committed measurements (warm-start excluded)."),
 		inFlight: r.Gauge(MetricInFlight,
 			"Measurement batches in flight at the last commit."),
+		calibError: r.Histogram(MetricCalibError,
+			"Smoothed predicted-vs-measured rank error per committed round (adaptive sessions).",
+			[]float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.75}),
+		verifyBudget: r.Gauge(MetricVerifyBudget,
+			"Adaptive verify/measure batch bound at the last committed round."),
+		draftBudget: r.Gauge(MetricDraftBudget,
+			"Adaptive LSE draft budget (|S_spec|) at the last committed round."),
+		targetDepth: r.Gauge(MetricTargetDepth,
+			"Adaptive pipeline-window bound at the last committed round."),
 	}
 }

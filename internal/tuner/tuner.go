@@ -99,8 +99,22 @@ type Options struct {
 	// depths overlap round r's measurement with round r+1's search and the
 	// round-r online fit, committing results in strict round order so a
 	// fixed depth is still bitwise reproducible at any Parallelism and
-	// across measurement backends.
+	// across measurement backends. Ignored when AdaptBudget is set: the
+	// controller then owns the window (1..Adapt.MaxDepth), which makes
+	// adaptive sessions bitwise identical at any requested depth.
 	PipelineDepth int
+	// AdaptBudget enables the calibration-driven budget controller
+	// (adapt.go, DESIGN.md §14): per-task predicted-vs-measured rank
+	// error — tracked from commit-ordered results only — shrinks or
+	// grows the verify/measure batch, the LSE draft budget handed to the
+	// policy, and the effective pipeline depth, spending trials where
+	// the model is uncertain and skipping verification where it is
+	// calibrated. Off (the default), the engine is bitwise identical to
+	// the fixed-budget loop.
+	AdaptBudget bool
+	// Adapt bounds the controller; zero fields select defaults. Only
+	// read when AdaptBudget is set.
+	Adapt AdaptConfig
 	// Sim overrides the simulator (tests, noise ablations); nil builds the
 	// default. Kept as a compatibility alias: unless Measurer is set, the
 	// session wraps Sim in the in-process measure.Sim adapter.
@@ -254,6 +268,19 @@ type ProgressEvent struct {
 	// commit boundary (between successive Progress callbacks) before
 	// forwarding events to SSE consumers.
 	RoundMillis int64
+	// CalibError is the controller's smoothed predicted-vs-measured rank
+	// error for this round's task after the commit (0 perfect ranking,
+	// 0.5 random). Only meaningful when Options.AdaptBudget is set;
+	// fixed-budget sessions leave it zero.
+	CalibError float64
+	// VerifyBudget / DraftBudget / TargetDepth are the controller's
+	// decisions in force when this round was planned: the measured-batch
+	// bound, the LSE |S_spec| handed to the policy (0 when the policy
+	// exposes no draft budget), and the pipeline-window bound. All zero
+	// when adaptation is off.
+	VerifyBudget int
+	DraftBudget  int
+	TargetDepth  int
 }
 
 // CurvePoint is one sample of the tuning curve.
@@ -333,6 +360,17 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 	}
 	eo := newEngineObs(opt.Obs)
 	draft := &analyzer.Analyzer{Dev: dev, Cfg: opt.DraftConfig}
+
+	// The adaptive controller (nil under fixed budgets — every use below
+	// is gated, so the fixed path is untouched down to the clock charge).
+	var ctrl *adaptController
+	if opt.AdaptBudget {
+		specBase := 0
+		if sb, ok := opt.Policy.(search.SpecBudgeter); ok {
+			specBase = sb.SpecBudget()
+		}
+		ctrl = newAdaptController(opt.Adapt, opt.BatchSize, specBase)
+	}
 
 	states := make([]*taskState, len(tasks))
 	for i, t := range tasks {
@@ -497,9 +535,22 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		planStart    int64
 		measureStart int64
 		msp          *obs.ActiveSpan
+		// pred holds the verifier's scores for the dispatched batch and
+		// verifyWant / draftWant / depthAt the controller's decisions in
+		// force at plan time; all zero under fixed budgets.
+		pred       []float64
+		verifyWant int
+		draftWant  int
+		depthAt    int
+		// calibErr is the task's smoothed rank error after this commit.
+		calibErr float64
 	}
 
 	rounds := (opt.Trials + opt.BatchSize - 1) / opt.BatchSize
+	// plannedTrials caps adaptive batches at the session budget. The
+	// fixed path keeps its historical accounting (rounds*BatchSize may
+	// overshoot Trials by up to BatchSize-1), preserved bit-for-bit.
+	plannedTrials := 0
 
 	// plan runs round selection and the draft/verify search, pre-marks the
 	// batch as measured (so deeper pipelines never propose a schedule that
@@ -535,7 +586,30 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			Cost:        opt.Cost,
 			Memo:        memo,
 		}
-		batch := opt.Policy.NextBatch(sctx, opt.BatchSize)
+		want, verifyWant, draftWant, depthAt := opt.BatchSize, 0, 0, 0
+		if ctrl != nil {
+			want = ctrl.verifyBudget(st.task.ID)
+			if rem := opt.Trials - plannedTrials; want > rem {
+				want = rem
+			}
+			verifyWant = want
+			draftWant = ctrl.draftBudget(st.task.ID)
+			depthAt = ctrl.targetDepth()
+			sctx.DraftBudget = draftWant
+		}
+		batch := opt.Policy.NextBatch(sctx, want)
+		var pred []float64
+		if ctrl != nil && len(batch) > 1 {
+			// Capture the verifier's scores for exactly the dispatched
+			// batch while the round memo still holds its features; the
+			// commit folds them against measured latencies. Charged like
+			// any verify-stage inference (adaptive sessions only, so the
+			// fixed clock is untouched).
+			pred = opt.Model.Predict(st.task, batch)
+			mc := opt.Model.Costs()
+			res.Clock.Exploration += float64(len(batch)) *
+				(opt.Cost.FeatureExtract*mc.FeatureX + opt.Cost.ModelInfer*mc.InferX)
+		}
 		if mu, ok := opt.Model.(costmodel.MemoUser); ok {
 			mu.SetMemo(nil) // do not retain the round's programs
 		}
@@ -545,10 +619,12 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		for _, s := range batch {
 			st.measuredSet[s.Fingerprint()] = true
 		}
+		plannedTrials += len(batch)
 		psp.End(obs.String("task", st.task.ID), obs.Int("batch", len(batch)))
 		eo.planSeconds.Observe(obs.Seconds(eo.clock, planStart))
 		eo.verifyBatch.Observe(float64(len(batch)))
-		f := &inflight{round: round, st: st, batch: batch, done: make(chan struct{}), planStart: planStart}
+		f := &inflight{round: round, st: st, batch: batch, done: make(chan struct{}), planStart: planStart,
+			pred: pred, verifyWant: verifyWant, draftWant: draftWant, depthAt: depthAt}
 		if len(batch) == 0 {
 			close(f.done)
 			return f, true
@@ -624,6 +700,13 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 			res.Clock.ChargeMeasurements(opt.Cost, lats)
 			st.trials += len(f.batch)
 			st.bestHistory = append(st.bestHistory, st.best)
+			if ctrl != nil {
+				// Feed the calibration tracker from the committed (noise
+				// -applied) latencies — the only place results exist in
+				// round order, which is what keeps every later control
+				// decision reproducible.
+				f.calibErr = ctrl.observe(st.task.ID, f.pred, lats)
+			}
 
 			// Online cost-model update (Algorithm 1 line 13).
 			if canTrain && (f.round+1)%opt.TrainEvery == 0 {
@@ -639,18 +722,28 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		})
 		if opt.Progress != nil {
 			opt.Progress(ProgressEvent{
-				Round:       f.round,
-				Rounds:      rounds,
-				TaskID:      st.task.ID,
-				TaskName:    st.task.Name,
-				Batch:       len(f.batch),
-				Trials:      totalTrials(states),
-				TaskBest:    st.best,
-				SimSeconds:  res.Clock.Total(),
-				WorkloadLat: workloadLatency(states),
-				Measurer:    minfo.Name,
-				InFlight:    inFlight,
+				Round:        f.round,
+				Rounds:       rounds,
+				TaskID:       st.task.ID,
+				TaskName:     st.task.Name,
+				Batch:        len(f.batch),
+				Trials:       totalTrials(states),
+				TaskBest:     st.best,
+				SimSeconds:   res.Clock.Total(),
+				WorkloadLat:  workloadLatency(states),
+				Measurer:     minfo.Name,
+				InFlight:     inFlight,
+				CalibError:   f.calibErr,
+				VerifyBudget: f.verifyWant,
+				DraftBudget:  f.draftWant,
+				TargetDepth:  f.depthAt,
 			})
+		}
+		if ctrl != nil {
+			eo.calibError.Observe(f.calibErr)
+			eo.verifyBudget.Set(float64(f.verifyWant))
+			eo.draftBudget.Set(float64(f.draftWant))
+			eo.targetDepth.Set(float64(f.depthAt))
 		}
 		csp.End(obs.Int("batch", len(f.batch)))
 		eo.commitSeconds.Observe(obs.Seconds(eo.clock, commitStart))
@@ -661,9 +754,23 @@ func Tune(dev *device.Device, tasks []*ir.Task, opt Options) *Result {
 		return true
 	}
 
-	window := make([]*inflight, 0, opt.PipelineDepth)
+	// Under adaptation the controller owns the window bound: it is
+	// re-read before every step, so depth follows session confidence
+	// (committing the oldest rounds first whenever it shrinks below the
+	// current occupancy). The bound derives only from committed state,
+	// so the plan/commit interleaving — and therefore every result — is
+	// identical at any Parallelism, requested depth, or backend.
+	maxDepth := opt.PipelineDepth
+	if ctrl != nil {
+		maxDepth = ctrl.cfg.MaxDepth
+	}
+	window := make([]*inflight, 0, maxDepth)
 	for planned := 0; planned < rounds || len(window) > 0; {
-		if len(window) == opt.PipelineDepth || planned >= rounds {
+		depth := opt.PipelineDepth
+		if ctrl != nil {
+			depth = ctrl.targetDepth()
+		}
+		if len(window) >= depth || planned >= rounds {
 			f := window[0]
 			window = window[:copy(window, window[1:])]
 			if !commit(f, len(window)+1) {

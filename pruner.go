@@ -44,6 +44,8 @@ type (
 	Model = costmodel.Model
 	// ProgressEvent is one round of live session progress (Config.Progress).
 	ProgressEvent = tuner.ProgressEvent
+	// AdaptBounds bounds the adaptive budget controller (Config.Adapt).
+	AdaptBounds = tuner.AdaptConfig
 	// Pool is a shared worker budget; sessions handed the same Pool never
 	// exceed its concurrency in total (the tuning daemon relies on this).
 	Pool = parallel.Pool
@@ -303,8 +305,20 @@ type Config struct {
 	// PipelineDepth bounds in-flight measurement rounds. 1 (default) is
 	// the serial loop; higher depths overlap measurement with the next
 	// round's search and the online fit, still bitwise reproducible for a
-	// fixed depth at any Parallelism.
+	// fixed depth at any Parallelism. Ignored when AdaptBudget is set
+	// (the controller then owns the depth).
 	PipelineDepth int
+	// AdaptBudget enables calibration-driven budget control: the session
+	// tracks the cost model's predicted-vs-measured rank error per task
+	// and deterministically shrinks the verify/measure batch, widens
+	// the LSE draft set and deepens the pipeline where the model has
+	// earned trust — measuring fewer candidates for the same Trials
+	// budget on well-modeled tasks. Off (the default), sessions are
+	// bitwise identical to fixed-budget tuning. See DESIGN.md §14.
+	AdaptBudget bool
+	// Adapt bounds the adaptive controller (zero fields use defaults);
+	// only read when AdaptBudget is set.
+	Adapt AdaptBounds
 	// Ctx cancels the session between measurement rounds; the partial
 	// Result (Interrupted set) is still valid. nil never cancels.
 	Ctx context.Context
@@ -337,6 +351,8 @@ func Tune(dev *Device, net *Network, cfg Config) (*Result, error) {
 		Pool:          cfg.Pool,
 		Measurer:      cfg.Measurer,
 		PipelineDepth: cfg.PipelineDepth,
+		AdaptBudget:   cfg.AdaptBudget,
+		Adapt:         cfg.Adapt,
 		Ctx:           cfg.Ctx,
 		Progress:      cfg.Progress,
 		WarmStart:     cfg.WarmStart,
